@@ -1,0 +1,80 @@
+// Command dope-bench regenerates the paper's evaluation artifacts. Each
+// experiment id corresponds to one table or figure of "Parallelism
+// Orchestration using DoPE" (PLDI 2011); see DESIGN.md for the index.
+//
+// Usage:
+//
+//	dope-bench -list
+//	dope-bench -exp fig2c
+//	dope-bench -exp table5 -scale 0.5
+//	dope-bench -all
+//
+// Simulated experiments accept -scale to shrink/grow the task counts
+// relative to the paper's 500-task runs; live experiments run the real
+// DoPE executive at a fixed reduced scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dope/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (see -list)")
+		scale  = flag.Float64("scale", 1.0, "task-count scale relative to the paper's runs")
+		list   = flag.Bool("list", false, "list available experiments")
+		all    = flag.Bool("all", false, "run every simulated experiment (skips live-*)")
+		format = flag.String("format", "text", "output format: text | csv | json | plot")
+	)
+	flag.Parse()
+	outputFormat = *format
+
+	switch {
+	case *list:
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-16s %s\n", e[0], e[1])
+		}
+	case *all:
+		for _, e := range harness.Experiments() {
+			if strings.HasPrefix(e[0], "live-") {
+				continue
+			}
+			run(e[0], *scale)
+		}
+	case *exp != "":
+		run(*exp, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// outputFormat selects how run renders tables.
+var outputFormat = "text"
+
+func run(id string, scale float64) {
+	tab, err := harness.Run(id, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-bench:", err)
+		os.Exit(1)
+	}
+	switch outputFormat {
+	case "csv":
+		err = tab.FprintCSV(os.Stdout)
+	case "json":
+		err = tab.FprintJSON(os.Stdout)
+	case "plot":
+		err = tab.FprintPlot(os.Stdout, 14)
+	default:
+		tab.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-bench:", err)
+		os.Exit(1)
+	}
+}

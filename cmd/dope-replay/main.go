@@ -1,0 +1,87 @@
+// Command dope-replay replays a recorded monitoring log (produced by
+// `dope-trace -record <file>`) against a mechanism, printing the decisions
+// it would have made — offline mechanism development, the workflow the
+// paper's separation of concerns enables for its third agent (§5).
+//
+// Usage:
+//
+//	dope-trace -app ferret -goal static -record run.jsonl
+//	dope-replay -log run.jsonl -mechanism tbf
+//	dope-replay -log run.jsonl -mechanism wqlinear -threads 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dope"
+	"dope/internal/replay"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "", "JSONL monitoring log (from dope-trace -record)")
+		mech    = flag.String("mechanism", "tbf", "mechanism: proportional | wqth | wqlinear | tb | tbf | fdp | seda | tpc | edp | loadprop")
+		threads = flag.Int("threads", 24, "hardware-thread budget")
+		watts   = flag.Float64("watts", 720, "power budget for tpc")
+		mmax    = flag.Int("mmax", 8, "Mmax for wqth/wqlinear")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-replay:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	entries, err := replay.ReadLog(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-replay:", err)
+		os.Exit(1)
+	}
+	m := pick(*mech, *threads, *watts, *mmax)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "dope-replay: unknown mechanism %q\n", *mech)
+		os.Exit(2)
+	}
+	decisions := replay.Replay(entries, m)
+	fmt.Printf("replayed %d snapshots through %s: %d decisions\n",
+		len(entries), m.Name(), len(decisions))
+	for _, d := range decisions {
+		fmt.Printf("  t=%8.3fs snapshot %3d -> %s\n", d.TimeSec, d.Index, d.Config)
+	}
+	if len(decisions) == 0 {
+		fmt.Println("  (the mechanism held the recorded configuration throughout)")
+	}
+}
+
+func pick(name string, threads int, watts float64, mmax int) dope.Mechanism {
+	switch name {
+	case "proportional":
+		return dope.Mechanisms.Proportional(threads)
+	case "wqth":
+		return dope.Mechanisms.WQTH(threads, mmax, 6)
+	case "wqlinear":
+		return dope.Mechanisms.WQLinear(threads, mmax, 14)
+	case "tb":
+		return dope.Mechanisms.TB(threads)
+	case "tbf":
+		return dope.Mechanisms.TBF(threads)
+	case "fdp":
+		return dope.Mechanisms.FDP(threads)
+	case "seda":
+		return dope.Mechanisms.SEDA(8, 1)
+	case "tpc":
+		return dope.Mechanisms.TPC(threads, watts)
+	case "edp":
+		return dope.Mechanisms.EDP(threads)
+	case "loadprop":
+		return dope.Mechanisms.LoadProp(threads)
+	default:
+		return nil
+	}
+}

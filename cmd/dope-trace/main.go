@@ -1,0 +1,170 @@
+// Command dope-trace runs one of the ported applications on the real DoPE
+// executive and streams the executive's reconfiguration decisions — a live
+// view of the protocol walkthrough in §6 of the paper.
+//
+// Usage:
+//
+//	dope-trace -app ferret -goal throughput -requests 200
+//	dope-trace -app x264 -goal response -load 0.8
+//	dope-trace -app dedup -goal power -watts 720
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"dope"
+	"dope/internal/apps"
+	"dope/internal/core"
+	"dope/internal/replay"
+	"dope/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "ferret", "application: x264 | swaptions | bzip | gimp | ferret | dedup")
+		goal     = flag.String("goal", "throughput", "goal: response | throughput | power | static")
+		requests = flag.Int("requests", 200, "number of requests to serve")
+		loadF    = flag.Float64("load", 0.7, "load factor for response-time goals")
+		watts    = flag.Float64("watts", 720, "power budget for -goal power")
+		threads  = flag.Int("threads", 24, "hardware-context budget")
+		record   = flag.String("record", "", "record monitoring snapshots to this JSONL file (for dope-replay)")
+		adminAt  = flag.String("admin", "", "serve the administration endpoint at this address (e.g. localhost:7117)")
+	)
+	flag.Parse()
+
+	s := apps.NewServer(nil)
+	spec, twoLevel := buildApp(*app, s)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "dope-trace: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	g := pickGoal(*goal, *threads, *watts)
+	start := time.Now()
+	d, err := dope.Create(spec, g,
+		dope.WithControlInterval(10*time.Millisecond),
+		dope.WithTrace(func(ev dope.Event) {
+			switch ev.Kind {
+			case dope.EventReconfigure:
+				fmt.Printf("%8.3fs reconfigure (%s): %s\n",
+					time.Since(start).Seconds(), ev.Mechanism, ev.Config)
+			case dope.EventSuspend:
+				fmt.Printf("%8.3fs suspend: draining top-level tasks\n", time.Since(start).Seconds())
+			case dope.EventResume:
+				fmt.Printf("%8.3fs resume under %s\n", time.Since(start).Seconds(), ev.Config)
+			case dope.EventFinish:
+				fmt.Printf("%8.3fs finish\n", time.Since(start).Seconds())
+			case dope.EventError:
+				fmt.Printf("%8.3fs error: %v\n", time.Since(start).Seconds(), ev.Err)
+			}
+		}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-trace:", err)
+		os.Exit(1)
+	}
+	if g.Name == "max-throughput-under-power" {
+		d.RegisterPowerModel(50 * time.Millisecond)
+	}
+
+	if *adminAt != "" {
+		go func() {
+			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats}\n", *adminAt)
+			if err := http.ListenAndServe(*adminAt, d.AdminHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "dope-trace: admin:", err)
+			}
+		}()
+	}
+
+	// Optional snapshot recording for offline mechanism replay.
+	var recDone chan struct{}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dope-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec := replay.NewRecorder(f)
+		recDone = make(chan struct{})
+		go func() {
+			defer close(recDone)
+			for {
+				select {
+				case <-d.Done():
+					return
+				case <-time.After(20 * time.Millisecond):
+					if err := rec.Record(d.Report()); err != nil {
+						fmt.Fprintln(os.Stderr, "dope-trace: record:", err)
+						return
+					}
+				}
+			}
+		}()
+		defer func() {
+			<-recDone
+			fmt.Printf("recorded %d snapshots to %s\n", rec.Count(), *record)
+		}()
+	}
+
+	// Feed the work queue. Two-level server apps get Poisson arrivals so
+	// load-sensitive mechanisms have something to react to; pipelines get a
+	// batch.
+	if twoLevel {
+		seqExec := 0.05 // rough per-request seconds at these parameters
+		maxTp := float64(*threads) / seqExec
+		arr := workload.NewArrivals(workload.LoadFactor(*loadF).RateFor(maxTp), 7)
+		for i := 0; i < *requests; i++ {
+			time.Sleep(arr.Next())
+			s.Submit(1.0)
+		}
+	} else {
+		for i := 0; i < *requests; i++ {
+			s.Submit(1.0)
+		}
+	}
+	s.Close()
+	if err := d.Destroy(); err != nil {
+		fmt.Fprintln(os.Stderr, "dope-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("served %d requests: mean response %.1f ms, throughput %.1f/s, %d reconfigurations\n",
+		int(s.Resp.Count()), s.Resp.MeanResponse()*1000, s.Meter.Overall(), d.Reconfigurations())
+}
+
+// buildApp constructs the named application; the bool reports whether it is
+// a two-level server app (outer loop over requests).
+func buildApp(name string, s *apps.Server) (*core.NestSpec, bool) {
+	switch name {
+	case "x264":
+		return apps.NewTranscode(s, apps.TranscodeParams{Frames: 12, UnitsPerFrame: 800}), true
+	case "swaptions":
+		return apps.NewSwaptions(s, apps.SwaptionsParams{Chunks: 16, UnitsPerChunk: 600}), true
+	case "bzip":
+		return apps.NewCompress(s, apps.CompressParams{Blocks: 12, UnitsPerBlock: 800}), true
+	case "gimp":
+		return apps.NewOilify(s, apps.OilifyParams{Rows: 12, UnitsPerRow: 800}), true
+	case "ferret":
+		return apps.NewFerret(s, apps.FerretParams{UnitsBase: 150}), false
+	case "dedup":
+		return apps.NewDedup(s, apps.DedupParams{ChunksPerItem: 10, UnitsPerChunk: 400}), false
+	default:
+		return nil, false
+	}
+}
+
+func pickGoal(goal string, threads int, watts float64) dope.Goal {
+	switch goal {
+	case "response":
+		return dope.MinResponseTime(threads, 8, 10)
+	case "throughput":
+		return dope.MaxThroughput(threads)
+	case "power":
+		return dope.MaxThroughputUnderPower(threads, watts)
+	default:
+		return dope.StaticGoal(threads)
+	}
+}

@@ -1,0 +1,60 @@
+// Imagesearch: the ferret batch workload of §8.2.2 on the real runtime.
+//
+// A six-stage image-search pipeline (load → segment → extract → index →
+// rank → out) with a heavily skewed rank stage processes a batch of
+// queries. Run statically with an even thread distribution it starves the
+// bottleneck; run under DoPE's TBF mechanism it is rebalanced — or fused
+// into a single parallel task when the imbalance is unfixable — and
+// throughput rises. Run with:
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dope"
+	"dope/internal/apps"
+)
+
+const (
+	threads = 24
+	queries = 250
+)
+
+func main() {
+	params := apps.FerretParams{UnitsBase: 120}
+
+	staticTput := run("static even <1,5,5,5,6,1>", params, nil, []int{1, 5, 5, 5, 6, 1})
+	tbfTput := run("DoPE-TBF", params, dope.Mechanisms.TBF(threads), []int{1, 1, 1, 1, 1, 1})
+
+	fmt.Printf("\nTBF improvement over static even distribution: %.2fx\n", tbfTput/staticTput)
+	fmt.Println("(the paper's Figure 15 reports DoPE-TBF as the best mechanism for ferret)")
+}
+
+func run(label string, params apps.FerretParams, mech dope.Mechanism, extents []int) float64 {
+	s := apps.NewServer(nil)
+	spec := apps.NewFerret(s, params)
+	goal := dope.StaticGoal(threads)
+	if mech != nil {
+		goal = dope.CustomGoal("max-throughput", threads, mech)
+	}
+	d, err := dope.Create(spec, goal,
+		dope.WithInitialConfig(&dope.Config{Alt: 0, Extents: extents}),
+		dope.WithControlInterval(10*time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		s.Submit(1.0)
+	}
+	s.Close()
+	if err := d.Destroy(); err != nil {
+		panic(err)
+	}
+	tput := float64(queries) / time.Since(start).Seconds()
+	fmt.Printf("%-28s %6.1f queries/s  (final %s)\n", label, tput, d.CurrentConfig())
+	return tput
+}

@@ -1,0 +1,84 @@
+// Videoserver: the paper's running example (§2, Figures 1–7) end to end.
+//
+// A transcoding service receives videos with Poisson arrivals. Each video
+// can be transcoded by an inner read|transform|write pipeline (low latency,
+// lower efficiency) or by a fused sequential transcoder (best throughput).
+// The WQ-Linear mechanism continuously trades the two off against the work
+// queue's occupancy, so response time stays near the per-load optimum as
+// the load sweeps from light to heavy. Run with:
+//
+//	go run ./examples/videoserver
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dope"
+	"dope/internal/apps"
+	"dope/internal/workload"
+)
+
+const (
+	threads = 24
+	videos  = 50
+	mmax    = 8
+)
+
+var params = apps.TranscodeParams{Frames: 8, UnitsPerFrame: 2000}
+
+func main() {
+	// Calibrate maximum throughput the paper's way (§8.2): N videos run
+	// concurrently, each transcoded sequentially; maxTp = N/T.
+	maxTp := calibrate()
+	fmt.Printf("calibration: max throughput %.0f videos/s with sequential-inner transcodes\n", maxTp)
+
+	for _, lf := range []float64{0.3, 0.9} {
+		s := apps.NewServer(nil)
+		spec := apps.NewTranscode(s, params)
+		d, err := dope.Create(spec, dope.MinResponseTime(threads, mmax, 10),
+			dope.WithControlInterval(5*time.Millisecond))
+		if err != nil {
+			panic(err)
+		}
+		arr := workload.NewArrivals(workload.LoadFactor(lf).RateFor(maxTp), 42)
+		for i := 0; i < videos; i++ {
+			time.Sleep(arr.Next())
+			s.Submit(1.0)
+		}
+		s.Close()
+		if err := d.Destroy(); err != nil {
+			panic(err)
+		}
+		p95, _ := s.Resp.Percentile(95)
+		fmt.Printf("load %.1f: mean response %6.1f ms (p95 %6.1f ms), exec %5.1f ms, wait %5.1f ms, %d reconfigurations, final %s\n",
+			lf, s.Resp.MeanResponse()*1000, p95*1000,
+			s.Resp.MeanExec()*1000, s.Resp.MeanWait()*1000,
+			d.Reconfigurations(), d.CurrentConfig())
+	}
+	fmt.Println("expected shape: light load runs the inner pipeline wide (low exec time);")
+	fmt.Println("heavy load degrades toward sequential inner transcodes (higher exec, lower wait).")
+}
+
+// calibrate measures N/T with the static throughput-optimal configuration.
+func calibrate() float64 {
+	const n = 72
+	s := apps.NewServer(nil)
+	spec := apps.NewTranscode(s, params)
+	cfg := dope.DefaultConfig(spec)
+	cfg.Extents[0] = threads
+	cfg.Child("video").Alt = 1 // fused sequential transcode
+	d, err := dope.Create(spec, dope.StaticGoal(threads), dope.WithInitialConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s.Submit(1.0)
+	}
+	s.Close()
+	if err := d.Destroy(); err != nil {
+		panic(err)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}

@@ -1,0 +1,165 @@
+// Package admin exposes a running executive over HTTP — the
+// administrator's console (§4): inspect the monitoring snapshot, pin a
+// static configuration, or switch the active mechanism, all against a live
+// system without touching application code.
+//
+// Endpoints (JSON):
+//
+//	GET  /report     the current monitoring snapshot (replay.Entry shape)
+//	GET  /config     the active parallelism configuration
+//	PUT  /config     install a configuration (normalized; may suspend)
+//	GET  /mechanism  {"name": "..."} of the active mechanism, or null
+//	PUT  /mechanism  {"name": "tbf"} switch mechanisms by registered name;
+//	                 {"name": "static"} freezes the current configuration
+//	GET  /stats      executive counters (uptime, reconfigurations, ...)
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"dope/internal/core"
+	"dope/internal/replay"
+)
+
+// MechanismFactory constructs a fresh mechanism instance. Factories are
+// used (rather than instances) because mechanisms carry per-run state.
+type MechanismFactory func() core.Mechanism
+
+// Handler builds the administration http.Handler for a running executive.
+// mechs maps names accepted by PUT /mechanism to factories; the name
+// "static" is always available and installs no mechanism.
+func Handler(e *core.Exec, mechs map[string]MechanismFactory) http.Handler {
+	mux := http.NewServeMux()
+	h := &adminState{exec: e, mechs: mechs}
+	mux.HandleFunc("/", h.index)
+	mux.HandleFunc("/report", h.report)
+	mux.HandleFunc("/config", h.config)
+	mux.HandleFunc("/mechanism", h.mechanism)
+	mux.HandleFunc("/stats", h.stats)
+	return mux
+}
+
+type adminState struct {
+	exec  *core.Exec
+	mechs map[string]MechanismFactory
+}
+
+func (h *adminState) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"endpoints": []string{
+			"GET /report", "GET /config", "PUT /config",
+			"GET /mechanism", "PUT /mechanism", "GET /stats",
+		},
+		"mechanisms": h.names(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *adminState) report(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, replay.Encode(h.exec.Report()))
+}
+
+func (h *adminState) config(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, h.exec.CurrentConfig())
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg, err := core.ParseConfig(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		h.exec.SetConfig(cfg)
+		writeJSON(w, h.exec.CurrentConfig())
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// mechanismBody is the PUT /mechanism payload.
+type mechanismBody struct {
+	Name string `json:"name"`
+}
+
+func (h *adminState) mechanism(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		m := h.exec.Mechanism()
+		if m == nil {
+			writeJSON(w, map[string]any{"name": nil, "available": h.names()})
+			return
+		}
+		writeJSON(w, map[string]any{"name": m.Name(), "available": h.names()})
+	case http.MethodPut, http.MethodPost:
+		var body mechanismBody
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if body.Name == "static" || body.Name == "" {
+			h.exec.SetMechanism(nil)
+			writeJSON(w, map[string]any{"name": nil})
+			return
+		}
+		factory, ok := h.mechs[body.Name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown mechanism %q (available: %v)",
+				body.Name, h.names()), http.StatusBadRequest)
+			return
+		}
+		m := factory()
+		h.exec.SetMechanism(m)
+		writeJSON(w, map[string]any{"name": m.Name()})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *adminState) names() []string {
+	out := []string{"static"}
+	for n := range h.mechs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"uptimeSec":        h.exec.Uptime().Seconds(),
+		"reconfigurations": h.exec.Reconfigurations(),
+		"suspensions":      h.exec.Suspensions(),
+		"contexts":         h.exec.Contexts().N(),
+		"busyContexts":     h.exec.Contexts().Busy(),
+		"peakContexts":     h.exec.Contexts().Peak(),
+	})
+}

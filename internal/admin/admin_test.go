@@ -1,0 +1,277 @@
+package admin
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/core"
+	"dope/internal/mechanism"
+	"dope/internal/queue"
+)
+
+// testExec launches a small pipeline server and returns the executive, the
+// work queue, and a completion counter.
+func testExec(t *testing.T) (*core.Exec, *queue.Queue[int], *atomic.Int64) {
+	t.Helper()
+	work := queue.New[int](0)
+	out := queue.New[int](4)
+	var consumed atomic.Int64
+	spec := &core.NestSpec{Name: "svc", Alts: []*core.AltSpec{{
+		Name: "pipeline",
+		Stages: []core.StageSpec{
+			{Name: "produce", Type: core.SEQ},
+			{Name: "consume", Type: core.PAR},
+		},
+		Make: func(item any) (*core.AltInstance, error) {
+			out.Reopen()
+			return &core.AltInstance{Stages: []core.StageFns{
+				{
+					Fn: func(w *core.Worker) core.Status {
+						if w.Suspending() {
+							return core.Suspended
+						}
+						v, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+						if errors.Is(err, queue.ErrClosed) {
+							return core.Finished
+						}
+						if !ok {
+							return core.Suspended
+						}
+						w.Begin()
+						w.End()
+						out.Enqueue(v)
+						return core.Executing
+					},
+					Load: func() float64 { return float64(work.Len()) },
+					Fini: out.Close,
+				},
+				{
+					Fn: func(w *core.Worker) core.Status {
+						_, err := out.Dequeue()
+						if err != nil {
+							return core.Finished
+						}
+						w.Begin()
+						time.Sleep(200 * time.Microsecond)
+						consumed.Add(1)
+						w.End()
+						return core.Executing
+					},
+					Load: func() float64 { return float64(out.Len()) },
+				},
+			}}, nil
+		},
+	}}}
+	e, err := core.New(spec, core.WithContexts(8),
+		core.WithControlInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return e, work, &consumed
+}
+
+func adminServer(t *testing.T, e *core.Exec) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler(e, map[string]MechanismFactory{
+		"tbf": func() core.Mechanism { return &mechanism.TBF{Threads: 8} },
+		"fdp": func() core.Mechanism { return &mechanism.FDP{Threads: 8} },
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func putJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestReportEndpoint(t *testing.T) {
+	e, work, _ := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+
+	var rep struct {
+		Contexts int `json:"contexts"`
+		Root     struct {
+			Name   string `json:"name"`
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"root"`
+	}
+	getJSON(t, srv.URL+"/report", &rep)
+	if rep.Contexts != 8 || rep.Root.Name != "svc" || len(rep.Root.Stages) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestConfigEndpointRoundTrip(t *testing.T) {
+	e, work, consumed := testExec(t)
+	srv := adminServer(t, e)
+	for i := 0; i < 50; i++ {
+		work.Enqueue(i)
+	}
+	resp := putJSON(t, srv.URL+"/config", `{"alt":0,"extents":[1,4]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /config: %d", resp.StatusCode)
+	}
+	var cfg core.Config
+	getJSON(t, srv.URL+"/config", &cfg)
+	if cfg.Extents[1] != 4 {
+		t.Fatalf("config = %v", &cfg)
+	}
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed.Load() != 50 {
+		t.Fatalf("consumed %d of 50 across admin reconfiguration", consumed.Load())
+	}
+}
+
+func TestConfigEndpointRejectsGarbage(t *testing.T) {
+	e, work, _ := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+	if resp := putJSON(t, srv.URL+"/config", `{nope`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage config: %d", resp.StatusCode)
+	}
+}
+
+func TestMechanismEndpoint(t *testing.T) {
+	e, work, _ := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+
+	var got struct {
+		Name      *string  `json:"name"`
+		Available []string `json:"available"`
+	}
+	getJSON(t, srv.URL+"/mechanism", &got)
+	if got.Name != nil {
+		t.Fatalf("initial mechanism = %v, want null", got.Name)
+	}
+	if len(got.Available) != 3 { // static, tbf, fdp
+		t.Fatalf("available = %v", got.Available)
+	}
+
+	if resp := putJSON(t, srv.URL+"/mechanism", `{"name":"tbf"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT tbf: %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/mechanism", &got)
+	if got.Name == nil || *got.Name != "TBF" {
+		t.Fatalf("mechanism = %v", got.Name)
+	}
+
+	if resp := putJSON(t, srv.URL+"/mechanism", `{"name":"static"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT static: %d", resp.StatusCode)
+	}
+	if e.Mechanism() != nil {
+		t.Fatal("static should clear the mechanism")
+	}
+
+	if resp := putJSON(t, srv.URL+"/mechanism", `{"name":"zzz"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mechanism: %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpointAndMethodChecks(t *testing.T) {
+	e, work, _ := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+
+	var stats map[string]any
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats["contexts"].(float64) != 8 {
+		t.Fatalf("stats = %v", stats)
+	}
+	// Method checks.
+	resp, err := http.Post(srv.URL+"/report", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /report: %d", resp.StatusCode)
+	}
+}
+
+func TestAdminDrivesLiveAdaptation(t *testing.T) {
+	// End to end: switch the live system to TBF over HTTP and watch it
+	// reconfigure.
+	e, work, consumed := testExec(t)
+	srv := adminServer(t, e)
+	for i := 0; i < 400; i++ {
+		work.Enqueue(i)
+	}
+	putJSON(t, srv.URL+"/mechanism", `{"name":"tbf"}`)
+	deadline := time.Now().Add(3 * time.Second)
+	for e.Reconfigurations() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if e.Reconfigurations() == 0 {
+		t.Fatal("admin-installed mechanism never reconfigured")
+	}
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed.Load() != 400 {
+		t.Fatalf("consumed %d of 400", consumed.Load())
+	}
+}
+
+func TestIndexEndpoint(t *testing.T) {
+	e, work, _ := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+	var got struct {
+		Endpoints  []string `json:"endpoints"`
+		Mechanisms []string `json:"mechanisms"`
+	}
+	getJSON(t, srv.URL+"/", &got)
+	if len(got.Endpoints) != 6 || len(got.Mechanisms) != 3 {
+		t.Fatalf("index = %+v", got)
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}

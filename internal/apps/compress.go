@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// CompressParams tunes the bzip-like block-compression application. Its
+// defining characteristic in the paper is Table 4's "Inner DoPmin extent
+// for speedup = 4": block-parallel compression pays a fixed split/startup
+// cost plus high per-worker coordination, so fewer than four workers are
+// slower than the fused sequential compressor. This starves WQ-Linear of
+// useful intermediate configurations (§8.2.1, Figure 11(c)).
+type CompressParams struct {
+	// Blocks is the number of compression blocks per file (default 16).
+	Blocks int
+	// UnitsPerBlock is the Burn cost per nominal block (default 1600).
+	UnitsPerBlock int
+	// Sigma is the per-worker coordination overhead (default 0.10).
+	Sigma float64
+	// StartupBlocks is the parallel-mode fixed cost, in block-equivalents
+	// of extra split work (default 2).
+	StartupBlocks int
+}
+
+func (p *CompressParams) defaults() {
+	if p.Blocks <= 0 {
+		p.Blocks = 16
+	}
+	if p.UnitsPerBlock <= 0 {
+		p.UnitsPerBlock = 1600
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 0.10
+	}
+	if p.StartupBlocks <= 0 {
+		p.StartupBlocks = 2
+	}
+}
+
+// NewCompress builds the data-compression application: outer loop over
+// files, inner block pipeline (split → compress → concat) or fused
+// sequential compressor.
+func NewCompress(s *Server, p CompressParams) *core.NestSpec {
+	p.defaults()
+	inner := &core.NestSpec{Name: "file", Alts: []*core.AltSpec{
+		compressPipelineAlt(p),
+		compressFusedAlt(p),
+	}}
+	return OuterLoop("bzip", s, inner)
+}
+
+type block struct {
+	index int
+	units int
+}
+
+func compressPipelineAlt(p CompressParams) *core.AltSpec {
+	return &core.AltSpec{
+		Name: "blocks",
+		Stages: []core.StageSpec{
+			{Name: "split", Type: core.SEQ},
+			{Name: "compress", Type: core.PAR, MinDoP: 4},
+			{Name: "concat", Type: core.SEQ},
+		},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			blockUnits := int(float64(p.UnitsPerBlock) * req.Size)
+			q1 := queue.New[block](8)
+			q2 := queue.New[block](8)
+			next := 0
+			startupPaid := false
+			return &core.AltInstance{Stages: []core.StageFns{
+				{
+					// Split: block boundary scan; the parallel path pays a
+					// fixed startup (buffer partitioning, bookkeeping).
+					Fn: func(w *core.Worker) core.Status {
+						if next >= p.Blocks {
+							return core.Finished
+						}
+						w.Begin()
+						scan := blockUnits / 16
+						if !startupPaid {
+							scan += blockUnits * p.StartupBlocks
+							startupPaid = true
+						}
+						Work(scan)
+						b := block{index: next, units: blockUnits}
+						next++
+						w.End()
+						q1.Enqueue(b)
+						return core.Executing
+					},
+					Fini: q1.Close,
+				},
+				{
+					// Compress: the heavy per-block work with steep
+					// coordination overhead.
+					Fn: func(w *core.Worker) core.Status {
+						b, err := q1.Dequeue()
+						if err != nil {
+							return core.Finished
+						}
+						w.Begin()
+						Work(InflatedUnits(b.units, w.Extent(), p.Sigma))
+						w.End()
+						q2.Enqueue(b)
+						return core.Executing
+					},
+					Load: func() float64 { return float64(q1.Len()) },
+					Fini: q2.Close,
+				},
+				{
+					// Concat: reassemble the output stream.
+					Fn: func(w *core.Worker) core.Status {
+						b, err := q2.Dequeue()
+						if err != nil {
+							return core.Finished
+						}
+						w.Begin()
+						Work(b.units / 16)
+						w.End()
+						return core.Executing
+					},
+					Load: func() float64 { return float64(q2.Len()) },
+				},
+			}}, nil
+		},
+	}
+}
+
+func compressFusedAlt(p CompressParams) *core.AltSpec {
+	return &core.AltSpec{
+		Name:   "fused",
+		Stages: []core.StageSpec{{Name: "compress", Type: core.SEQ}},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			blockUnits := int(float64(p.UnitsPerBlock) * req.Size)
+			done := 0
+			return &core.AltInstance{Stages: []core.StageFns{{
+				// The fused compressor streams through the file: no split
+				// startup, no queues, no coordination.
+				Fn: func(w *core.Worker) core.Status {
+					if done >= p.Blocks {
+						return core.Finished
+					}
+					w.Begin()
+					Work(blockUnits + blockUnits/8)
+					done++
+					w.End()
+					return core.Executing
+				},
+			}}}, nil
+		},
+	}
+}

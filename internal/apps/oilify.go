@@ -1,0 +1,43 @@
+package apps
+
+import "dope/internal/core"
+
+// OilifyParams tunes the gimp-oilify-like image-editing application: one
+// request is one image whose tile rows are independent (a DOALL), each
+// applying a neighborhood filter.
+type OilifyParams struct {
+	// Rows is the number of tile rows per image (default 24).
+	Rows int
+	// UnitsPerRow is the Burn cost per nominal row (default 1800).
+	UnitsPerRow int
+	// Sigma is the DOALL coordination overhead (default 0.06: the oilify
+	// neighborhood filter shares edge pixels between tiles, so it scales a
+	// little worse than swaptions).
+	Sigma float64
+}
+
+func (p *OilifyParams) defaults() {
+	if p.Rows <= 0 {
+		p.Rows = 24
+	}
+	if p.UnitsPerRow <= 0 {
+		p.UnitsPerRow = 1800
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 0.06
+	}
+}
+
+// NewOilify builds the image-editing application: outer loop over images,
+// inner DOALL over tile rows or sequential sweep.
+func NewOilify(s *Server, p OilifyParams) *core.NestSpec {
+	p.defaults()
+	inner := &core.NestSpec{Name: "image", Alts: []*core.AltSpec{
+		doallAlt("filter", doallParams{
+			chunks: p.Rows, unitsPerChunk: p.UnitsPerRow,
+			sigma: p.Sigma, minDoP: 2,
+		}),
+		seqSweepAlt("filter-seq", p.Rows, p.UnitsPerRow),
+	}}
+	return OuterLoop("gimp", s, inner)
+}

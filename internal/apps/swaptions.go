@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"sync/atomic"
+
+	"dope/internal/core"
+)
+
+// SwaptionsParams tunes the Monte Carlo option-pricing application
+// (PARSEC's swaptions shape: one pricing request = many independent
+// simulation chunks).
+type SwaptionsParams struct {
+	// Chunks is the number of independent simulation chunks per request
+	// (default 32).
+	Chunks int
+	// UnitsPerChunk is the Burn cost per nominal chunk (default 1200).
+	UnitsPerChunk int
+	// Sigma is the DOALL coordination overhead per extra worker
+	// (default 0.05).
+	Sigma float64
+}
+
+func (p *SwaptionsParams) defaults() {
+	if p.Chunks <= 0 {
+		p.Chunks = 32
+	}
+	if p.UnitsPerChunk <= 0 {
+		p.UnitsPerChunk = 1200
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 0.05
+	}
+}
+
+// NewSwaptions builds the option-pricing application: an outer loop over
+// pricing requests whose inner loop is a DOALL over Monte Carlo chunks (or
+// a sequential sweep).
+func NewSwaptions(s *Server, p SwaptionsParams) *core.NestSpec {
+	p.defaults()
+	inner := &core.NestSpec{Name: "price", Alts: []*core.AltSpec{
+		doallAlt("simulate", doallParams{
+			chunks: p.Chunks, unitsPerChunk: p.UnitsPerChunk,
+			sigma: p.Sigma, minDoP: 2,
+		}),
+		seqSweepAlt("simulate-seq", p.Chunks, p.UnitsPerChunk),
+	}}
+	return OuterLoop("swaptions", s, inner)
+}
+
+// doallParams describes a self-scheduling DOALL inner loop shared by
+// swaptions and oilify.
+type doallParams struct {
+	chunks        int
+	unitsPerChunk int
+	sigma         float64
+	minDoP        int
+}
+
+// doallAlt builds a DOALL alternative: workers self-schedule chunk indices
+// from an atomic counter until the chunk space is exhausted.
+func doallAlt(stage string, p doallParams) *core.AltSpec {
+	return &core.AltSpec{
+		Name:   "doall",
+		Stages: []core.StageSpec{{Name: stage, Type: core.PAR, MinDoP: p.minDoP}},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			units := int(float64(p.unitsPerChunk) * req.Size)
+			var next atomic.Int64
+			return &core.AltInstance{Stages: []core.StageFns{{
+				Fn: func(w *core.Worker) core.Status {
+					i := next.Add(1) - 1
+					if i >= int64(p.chunks) {
+						return core.Finished
+					}
+					w.Begin()
+					Work(InflatedUnits(units, w.Extent(), p.sigma))
+					w.End()
+					return core.Executing
+				},
+				Load: func() float64 {
+					remaining := int64(p.chunks) - next.Load()
+					if remaining < 0 {
+						remaining = 0
+					}
+					return float64(remaining)
+				},
+			}}}, nil
+		},
+	}
+}
+
+// seqSweepAlt builds the sequential alternative: one SEQ stage sweeping all
+// chunks with no coordination overhead.
+func seqSweepAlt(stage string, chunks, unitsPerChunk int) *core.AltSpec {
+	return &core.AltSpec{
+		Name:   "sequential",
+		Stages: []core.StageSpec{{Name: stage, Type: core.SEQ}},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			units := int(float64(unitsPerChunk) * req.Size)
+			done := 0
+			return &core.AltInstance{Stages: []core.StageFns{{
+				Fn: func(w *core.Worker) core.Status {
+					if done >= chunks {
+						return core.Finished
+					}
+					w.Begin()
+					Work(units)
+					done++
+					w.End()
+					return core.Executing
+				},
+			}}}, nil
+		},
+	}
+}

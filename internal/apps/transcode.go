@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// TranscodeParams tunes the x264-like video transcoding application.
+type TranscodeParams struct {
+	// Frames is the number of frames per video (default 24).
+	Frames int
+	// UnitsPerFrame is the Burn cost of transforming one nominal frame
+	// (default 1500).
+	UnitsPerFrame int
+	// Sigma is the per-worker synchronization overhead of the transform
+	// stage; the default 0.04 calibrates the inner-loop speedup to the
+	// paper's ≈6.3× at DoP 8.
+	Sigma float64
+}
+
+func (p *TranscodeParams) defaults() {
+	if p.Frames <= 0 {
+		p.Frames = 24
+	}
+	if p.UnitsPerFrame <= 0 {
+		p.UnitsPerFrame = 1500
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 0.04
+	}
+}
+
+// readShare and writeShare size the pipeline's SEQ stages relative to the
+// transform stage, mirroring x264's light demux/mux around heavy encode.
+const (
+	readShare  = 8
+	writeShare = 8
+)
+
+// NewTranscode builds the video-transcoding application of the paper's
+// running example (Figures 1, 5–7): an outer DOALL loop over submitted
+// videos whose inner loop is either a read→transform→write pipeline over
+// frames or a fused sequential transcode. The returned spec is the root
+// nest to hand to dope.Create.
+func NewTranscode(s *Server, p TranscodeParams) *core.NestSpec {
+	p.defaults()
+	inner := &core.NestSpec{Name: "video", Alts: []*core.AltSpec{
+		transcodePipelineAlt(p),
+		transcodeFusedAlt(p),
+	}}
+	return OuterLoop("x264", s, inner)
+}
+
+// frame is one unit of intra-video work.
+type frame struct {
+	index int
+	units int
+}
+
+func transcodePipelineAlt(p TranscodeParams) *core.AltSpec {
+	return &core.AltSpec{
+		Name: "pipeline",
+		Stages: []core.StageSpec{
+			{Name: "read", Type: core.SEQ},
+			{Name: "transform", Type: core.PAR, MinDoP: 2},
+			{Name: "write", Type: core.SEQ},
+		},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			frameUnits := int(float64(p.UnitsPerFrame) * req.Size)
+			q1 := queue.New[frame](8)
+			q2 := queue.New[frame](8)
+			next := 0
+			written := 0
+			return &core.AltInstance{Stages: []core.StageFns{
+				{
+					// Read: demux the next frame (light SEQ work).
+					Fn: func(w *core.Worker) core.Status {
+						if next >= p.Frames {
+							return core.Finished
+						}
+						w.Begin()
+						Work(frameUnits / readShare)
+						f := frame{index: next, units: frameUnits}
+						next++
+						w.End()
+						q1.Enqueue(f)
+						return core.Executing
+					},
+					Fini: q1.Close,
+				},
+				{
+					// Transform: encode the frame (heavy PAR work with
+					// synchronization overhead growing with the extent).
+					Fn: func(w *core.Worker) core.Status {
+						f, err := q1.Dequeue()
+						if err != nil {
+							return core.Finished
+						}
+						w.Begin()
+						Work(InflatedUnits(f.units, w.Extent(), p.Sigma))
+						w.End()
+						q2.Enqueue(f)
+						return core.Executing
+					},
+					Load: func() float64 { return float64(q1.Len()) },
+					Fini: q2.Close,
+				},
+				{
+					// Write: mux the encoded frame (light SEQ work).
+					Fn: func(w *core.Worker) core.Status {
+						f, err := q2.Dequeue()
+						if err != nil {
+							return core.Finished
+						}
+						w.Begin()
+						Work(f.units / writeShare)
+						written++
+						w.End()
+						return core.Executing
+					},
+					Load: func() float64 { return float64(q2.Len()) },
+				},
+			}}, nil
+		},
+	}
+}
+
+func transcodeFusedAlt(p TranscodeParams) *core.AltSpec {
+	return &core.AltSpec{
+		Name:   "fused",
+		Stages: []core.StageSpec{{Name: "transcode", Type: core.SEQ}},
+		Make: func(item any) (*core.AltInstance, error) {
+			req, err := reqFrom(item)
+			if err != nil {
+				return nil, err
+			}
+			frameUnits := int(float64(p.UnitsPerFrame) * req.Size)
+			next := 0
+			return &core.AltInstance{Stages: []core.StageFns{{
+				// The fused transcode does read+transform+write per frame
+				// with no queue traffic and no parallel overhead — the
+				// throughput-optimal sequential execution.
+				Fn: func(w *core.Worker) core.Status {
+					if next >= p.Frames {
+						return core.Finished
+					}
+					w.Begin()
+					Work(frameUnits/readShare + frameUnits + frameUnits/writeShare)
+					next++
+					w.End()
+					return core.Executing
+				},
+			}}}, nil
+		},
+	}
+}

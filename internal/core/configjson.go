@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// configJSON is the serialized shape of a Config. Configs cross process
+// boundaries in two places: operators pin configurations from the command
+// line, and the replay tooling stores them in monitoring logs.
+type configJSON struct {
+	Alt      int                    `json:"alt"`
+	Extents  []int                  `json:"extents"`
+	Children map[string]*configJSON `json:"children,omitempty"`
+}
+
+func toJSON(c *Config) *configJSON {
+	if c == nil {
+		return nil
+	}
+	out := &configJSON{Alt: c.Alt, Extents: append([]int(nil), c.Extents...)}
+	for k, v := range c.Children {
+		if out.Children == nil {
+			out.Children = map[string]*configJSON{}
+		}
+		out.Children[k] = toJSON(v)
+	}
+	return out
+}
+
+func fromJSON(j *configJSON) *Config {
+	if j == nil {
+		return nil
+	}
+	out := &Config{Alt: j.Alt, Extents: append([]int(nil), j.Extents...)}
+	for k, v := range j.Children {
+		out.SetChild(k, fromJSON(v))
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSON(c))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var j configJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("core: config: %w", err)
+	}
+	*c = *fromJSON(&j)
+	return nil
+}
+
+// ParseConfig decodes a JSON configuration, e.g.
+//
+//	{"alt":0,"extents":[3],"children":{"video":{"alt":0,"extents":[1,6,1]}}}
+//
+// No normalization is applied; pass the result through Normalize (or
+// Exec.SetConfig, which normalizes) before use.
+func ParseConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/queue"
+)
+
+// --- Config JSON -------------------------------------------------------------
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := &Config{Alt: 1, Extents: []int{3}}
+	cfg.SetChild("video", &Config{Alt: 0, Extents: []int{1, 6, 1}})
+	cfg.Child("video").SetChild("deep", &Config{Alt: 0, Extents: []int{2}})
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(cfg) {
+		t.Fatalf("round trip lost data: %s vs %s", back, cfg)
+	}
+}
+
+func TestParseConfigLiteral(t *testing.T) {
+	cfg, err := ParseConfig([]byte(
+		`{"alt":0,"extents":[3],"children":{"video":{"alt":1,"extents":[1]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Extents[0] != 3 || cfg.Child("video").Alt != 1 {
+		t.Fatalf("parsed = %s", cfg)
+	}
+	if _, err := ParseConfig([]byte(`{nope`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// --- three-level nesting -------------------------------------------------------
+
+// threeLevelSpec builds playlist → video → frame: the root loop consumes
+// playlists; each playlist runs a nested loop over its videos; each video
+// runs a nested loop over its frames.
+func threeLevelSpec(work *queue.Queue[int], frames *atomic.Int64) *NestSpec {
+	frameLoop := &NestSpec{Name: "frame", Alts: []*AltSpec{{
+		Name:   "doall",
+		Stages: []StageSpec{{Name: "decode", Type: PAR}},
+		Make: func(item any) (*AltInstance, error) {
+			var n atomic.Int64
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if n.Add(1) > 4 {
+						return Finished
+					}
+					w.Begin()
+					frames.Add(1)
+					w.End()
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	videoLoop := &NestSpec{Name: "video", Alts: []*AltSpec{{
+		Name:   "videos",
+		Stages: []StageSpec{{Name: "transcode", Type: PAR, Nest: frameLoop}},
+		Make: func(item any) (*AltInstance, error) {
+			var n atomic.Int64
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if n.Add(1) > 3 {
+						return Finished
+					}
+					if _, err := w.RunNest(frameLoop, item); err != nil {
+						return Finished
+					}
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	return &NestSpec{Name: "playlist", Alts: []*AltSpec{{
+		Name:   "outer",
+		Stages: []StageSpec{{Name: "serve", Type: PAR, Nest: videoLoop}},
+		Make: func(item any) (*AltInstance, error) {
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if w.Suspending() {
+						return Suspended
+					}
+					v, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+					if errors.Is(err, queue.ErrClosed) {
+						return Finished
+					}
+					if !ok {
+						return Suspended
+					}
+					st, err := w.RunNest(videoLoop, v)
+					if err != nil || st == Suspended {
+						return Suspended
+					}
+					return Executing
+				},
+				Load: func() float64 { return float64(work.Len()) },
+			}}}, nil
+		},
+	}}}
+}
+
+func TestThreeLevelNestRunsAndReports(t *testing.T) {
+	work := queue.New[int](0)
+	var frames atomic.Int64
+	spec := threeLevelSpec(work, &frames)
+	cfg := &Config{Alt: 0, Extents: []int{2}}
+	video := &Config{Alt: 0, Extents: []int{2}}
+	video.SetChild("frame", &Config{Alt: 0, Extents: []int{2}})
+	cfg.SetChild("video", video)
+	e, err := New(spec, WithContexts(16), WithInitialConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const playlists = 6
+	for i := 0; i < playlists; i++ {
+		work.Enqueue(i)
+	}
+	work.Close()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// playlists × 3 videos × 4 frames
+	if got := frames.Load(); got != playlists*3*4 {
+		t.Fatalf("frames = %d, want %d", got, playlists*3*4)
+	}
+	rep := e.Report()
+	deep := rep.Nest("playlist/video/frame")
+	if deep == nil {
+		t.Fatal("three-level report path missing")
+	}
+	if deep.Stage("decode").Iterations == 0 {
+		t.Fatal("deepest stage unmonitored")
+	}
+	if Demand(spec, e.CurrentConfig()) != 2*2*2 {
+		t.Fatalf("demand = %d, want 8", Demand(spec, e.CurrentConfig()))
+	}
+}
+
+// --- undeclared nest fallback ---------------------------------------------------
+
+func TestUndeclaredNestRunsWithDefaults(t *testing.T) {
+	// A functor may run a nest that its StageSpec did not declare; the
+	// executive falls back to the nest's own default configuration.
+	var innerRuns atomic.Int64
+	secret := &NestSpec{Name: "secret", Alts: []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "s", Type: PAR}},
+		Make: func(item any) (*AltInstance, error) {
+			done := false
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if done {
+						return Finished
+					}
+					done = true
+					innerRuns.Add(1)
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	root := &NestSpec{Name: "root", Alts: []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "outer", Type: SEQ}}, // no Nest declared
+		Make: func(item any) (*AltInstance, error) {
+			ran := false
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if ran {
+						return Finished
+					}
+					ran = true
+					if _, err := w.RunNest(secret, nil); err != nil {
+						t.Errorf("undeclared nest failed: %v", err)
+					}
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	e, err := New(root, WithContexts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if innerRuns.Load() != 1 {
+		t.Fatalf("inner runs = %d", innerRuns.Load())
+	}
+}
+
+// --- chaos: random reconfiguration storm ----------------------------------------
+
+func TestChaosReconfigurationConservesWork(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := doallSpec(work, &processed)
+	e, err := New(spec, WithContexts(8),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 400
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 25; i++ {
+			e.SetConfig(&Config{Alt: 0, Extents: []int{rng.Intn(8) + 1}})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < items; i++ {
+		work.Enqueue(i)
+		if i%10 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	<-done
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if processed.Load() != items {
+		t.Fatalf("processed %d of %d under reconfiguration storm", processed.Load(), items)
+	}
+	if e.Suspensions() == 0 {
+		t.Fatal("storm caused no suspensions")
+	}
+}
+
+// --- goroutine hygiene -----------------------------------------------------------
+
+func TestNoGoroutineLeakAfterWait(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		work := queue.New[int](0)
+		var processed atomic.Int64
+		e, err := New(doallSpec(work, &processed), WithContexts(4),
+			WithInitialConfig(&Config{Alt: 0, Extents: []int{3}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillAndClose(work, 50)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after three runs", before, after)
+	}
+}
+
+// --- Init/Fini contract ----------------------------------------------------------
+
+func TestInitAndFiniOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	log := func(s string) {
+		mu.Lock()
+		events = append(events, s)
+		mu.Unlock()
+	}
+	n := 0
+	spec := &NestSpec{Name: "cb", Alts: []*AltSpec{{
+		Name: "a",
+		Stages: []StageSpec{
+			{Name: "s1", Type: SEQ},
+			{Name: "s2", Type: PAR},
+		},
+		Make: func(item any) (*AltInstance, error) {
+			return &AltInstance{Stages: []StageFns{
+				{
+					Init: func() { log("init-s1") },
+					Fn: func(w *Worker) Status {
+						if n >= 3 {
+							return Finished
+						}
+						n++
+						log("fn-s1")
+						return Executing
+					},
+					Fini: func() { log("fini-s1") },
+				},
+				{
+					Init: func() { log("init-s2") },
+					Fn: func(w *Worker) Status {
+						return Finished
+					},
+					Fini: func() { log("fini-s2") },
+				},
+			}}, nil
+		},
+	}}}
+	e, err := New(spec, WithContexts(4),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	idx := func(s string) int {
+		for i, v := range events {
+			if v == s {
+				return i
+			}
+		}
+		return -1
+	}
+	// InitCB runs exactly once per stage, before any Fn of that stage;
+	// FiniCB runs exactly once, after all of the stage's workers exited.
+	for _, st := range []string{"s1", "s2"} {
+		if c := count(events, "init-"+st); c != 1 {
+			t.Fatalf("init-%s ran %d times: %v", st, c, events)
+		}
+		if c := count(events, "fini-"+st); c != 1 {
+			t.Fatalf("fini-%s ran %d times: %v", st, c, events)
+		}
+	}
+	if idx("init-s1") > idx("fn-s1") {
+		t.Fatalf("init after fn: %v", events)
+	}
+	if idx("fini-s1") < idx("fn-s1") {
+		t.Fatalf("fini before fn: %v", events)
+	}
+	// Stage inits run in declaration order (sequentially at spawn).
+	if idx("init-s1") > idx("init-s2") {
+		t.Fatalf("stage init order violated: %v", events)
+	}
+}
+
+func count(xs []string, want string) int {
+	c := 0
+	for _, x := range xs {
+		if x == want {
+			c++
+		}
+	}
+	return c
+}

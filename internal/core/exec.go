@@ -1,0 +1,520 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dope/internal/monitor"
+	"dope/internal/platform"
+)
+
+// Exec is the DoPE executive (the paper's DoPE-Executive, Figure 8). It
+// owns the hardware-context pool, the monitors, the current configuration,
+// and the reconfiguration protocol. Construct with New, launch with Start,
+// and join with Wait — the Go spelling of DoPE::create / DoPE::destroy.
+type Exec struct {
+	root     *NestSpec
+	contexts *platform.Contexts
+	features *platform.Features
+	clock    platform.Clock
+	mon      *monitor.Registry
+	interval time.Duration
+	trace    func(Event)
+
+	mechMu sync.RWMutex
+	mech   Mechanism
+
+	cfg     atomic.Pointer[Config]
+	curRun  atomic.Pointer[run]
+	stop    atomic.Bool
+	started atomic.Bool
+	doneCh  chan struct{}
+	ctrlCh  chan struct{}
+	// startAt holds the Start timestamp as unix nanoseconds; atomic
+	// because Uptime/Report may run concurrently with Start.
+	startAt atomic.Int64
+
+	errMu  sync.Mutex
+	runErr error
+
+	reconfigs atomic.Uint64
+	suspends  atomic.Uint64
+}
+
+// run is one suspension domain: the lifetime of one set of top-level task
+// instances between (re)spawns.
+type run struct {
+	suspend atomic.Bool
+}
+
+func (r *run) suspending() bool { return r.suspend.Load() }
+
+func (r *run) requestSuspend() { r.suspend.Store(true) }
+
+// Option configures an Exec.
+type Option func(*Exec)
+
+// WithContexts sets the number of hardware contexts (default 24, the
+// paper's evaluation machine).
+func WithContexts(n int) Option {
+	return func(e *Exec) { e.contexts = platform.NewContexts(n) }
+}
+
+// WithContextPool installs a caller-owned context pool, letting several
+// executives share one platform.
+func WithContextPool(p *platform.Contexts) Option {
+	return func(e *Exec) { e.contexts = p }
+}
+
+// WithMechanism installs the adaptation mechanism. A nil mechanism leaves
+// the configuration static (the baseline mode of the evaluation).
+func WithMechanism(m Mechanism) Option {
+	return func(e *Exec) { e.mech = m }
+}
+
+// WithControlInterval sets how often the executive consults the mechanism.
+func WithControlInterval(d time.Duration) Option {
+	return func(e *Exec) {
+		if d > 0 {
+			e.interval = d
+		}
+	}
+}
+
+// WithMonitorAlpha sets the smoothing factor of the monitors' EWMAs.
+func WithMonitorAlpha(alpha float64) Option {
+	return func(e *Exec) { e.mon = monitor.NewRegistry(alpha) }
+}
+
+// WithClock substitutes the clock (tests, simulation).
+func WithClock(c platform.Clock) Option {
+	return func(e *Exec) {
+		if c != nil {
+			e.clock = c
+		}
+	}
+}
+
+// WithTrace installs a callback that receives executive events
+// (reconfigurations, suspensions, completion). The callback must be fast
+// and must not call back into the Exec.
+func WithTrace(fn func(Event)) Option {
+	return func(e *Exec) { e.trace = fn }
+}
+
+// WithInitialConfig sets the starting configuration (normalized against the
+// root spec). Without it the executive starts from DefaultConfig.
+func WithInitialConfig(cfg *Config) Option {
+	return func(e *Exec) {
+		if cfg != nil {
+			e.cfg.Store(cfg.Clone())
+		}
+	}
+}
+
+// WithFeatures installs a caller-owned platform feature registry.
+func WithFeatures(f *platform.Features) Option {
+	return func(e *Exec) {
+		if f != nil {
+			e.features = f
+		}
+	}
+}
+
+// DefaultContexts is the size of the paper's evaluation platform.
+const DefaultContexts = 24
+
+// New validates the spec tree and constructs an executive.
+func New(root *NestSpec, opts ...Option) (*Exec, error) {
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Exec{
+		root:     root,
+		clock:    platform.WallClock{},
+		interval: 10 * time.Millisecond,
+		doneCh:   make(chan struct{}),
+		ctrlCh:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.contexts == nil {
+		e.contexts = platform.NewContexts(DefaultContexts)
+	}
+	if e.features == nil {
+		e.features = platform.NewFeatures()
+	}
+	if e.mon == nil {
+		e.mon = monitor.NewRegistry(0.25)
+	}
+	if e.cfg.Load() == nil {
+		e.cfg.Store(DefaultConfig(root))
+	}
+	cfg := e.cfg.Load().Clone()
+	cfg.Normalize(root)
+	e.cfg.Store(cfg)
+	e.features.Register(platform.FeatureHardwareContexts,
+		func() float64 { return float64(e.contexts.N()) })
+	e.features.Register(platform.FeatureBusyContexts,
+		func() float64 { return float64(e.contexts.Busy()) })
+	return e, nil
+}
+
+// Contexts returns the executive's hardware-context pool.
+func (e *Exec) Contexts() *platform.Contexts { return e.contexts }
+
+// Features returns the platform feature registry for mechanism-developer
+// registrations (Figure 9).
+func (e *Exec) Features() *platform.Features { return e.features }
+
+// Clock returns the executive's clock.
+func (e *Exec) Clock() platform.Clock { return e.clock }
+
+// Uptime returns the time since Start.
+func (e *Exec) Uptime() time.Duration {
+	at := e.startAt.Load()
+	if at == 0 {
+		return 0
+	}
+	return e.clock.Since(time.Unix(0, at))
+}
+
+// Reconfigurations returns how many configuration changes have been applied.
+func (e *Exec) Reconfigurations() uint64 { return e.reconfigs.Load() }
+
+// Suspensions returns how many full suspend/respawn cycles have occurred.
+func (e *Exec) Suspensions() uint64 { return e.suspends.Load() }
+
+// CurrentConfig returns a copy of the active configuration.
+func (e *Exec) CurrentConfig() *Config { return e.cfg.Load().Clone() }
+
+// SetConfig installs cfg (normalized) as the active configuration, applying
+// the suspension protocol if the root level changed. Experiments use this
+// to pin static configurations; mechanisms normally go through the control
+// loop instead.
+func (e *Exec) SetConfig(cfg *Config) {
+	if cfg == nil {
+		return
+	}
+	nc := cfg.Clone()
+	nc.Normalize(e.root)
+	old := e.cfg.Load()
+	if nc.Equal(old) {
+		return
+	}
+	e.cfg.Store(nc)
+	e.reconfigs.Add(1)
+	e.emit(Event{Kind: EventReconfigure, Config: nc.Clone()})
+	if rootLevelDiffers(old, nc) {
+		e.suspendCurrent()
+	}
+}
+
+// Start launches the application under the executive. It returns an error
+// if called twice.
+func (e *Exec) Start() error {
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("core: executive already started")
+	}
+	at := e.clock.Now().UnixNano()
+	if at == 0 {
+		at = 1 // virtual clocks may start at the epoch; 0 means "not started"
+	}
+	e.startAt.Store(at)
+	// The first run is registered before the serve goroutine exists so a
+	// reconfiguration issued immediately after Start still finds a run to
+	// suspend.
+	e.curRun.Store(&run{})
+	go e.serve()
+	go e.control()
+	return nil
+}
+
+// Wait blocks until the application finishes naturally or Stop is called,
+// and returns the first task error if any. This is DoPE::destroy's "wait
+// for registered tasks to end".
+func (e *Exec) Wait() error {
+	<-e.doneCh
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.runErr
+}
+
+// Run is Start followed by Wait.
+func (e *Exec) Run() error {
+	if err := e.Start(); err != nil {
+		return err
+	}
+	return e.Wait()
+}
+
+// Stop asks the executive to shut down: the current run is suspended and
+// not respawned. Stop does not wait; call Wait to join.
+func (e *Exec) Stop() {
+	e.stop.Store(true)
+	e.suspendCurrent()
+}
+
+// Done returns a channel closed when the application has ended.
+func (e *Exec) Done() <-chan struct{} { return e.doneCh }
+
+// recordTaskPanic converts a worker panic into a run error and shuts the
+// application down; sibling tasks drain through the normal protocol.
+func (e *Exec) recordTaskPanic(key monitor.Key, p any) {
+	err := fmt.Errorf("core: task %s/%s panicked: %v", key.Nest, key.Stage, p)
+	e.errMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.errMu.Unlock()
+	e.emit(Event{Kind: EventError, Err: err})
+	e.Stop()
+}
+
+func (e *Exec) suspendCurrent() {
+	if r := e.curRun.Load(); r != nil {
+		if !r.suspend.Swap(true) {
+			e.suspends.Add(1)
+			e.emit(Event{Kind: EventSuspend})
+		}
+	}
+}
+
+// serve is the root task loop: spawn the root nest, and on suspension
+// respawn it under the then-current configuration.
+func (e *Exec) serve() {
+	defer close(e.doneCh)
+	defer close(e.ctrlCh)
+	for {
+		r := e.curRun.Load()
+		st, err := e.runNest(r, e.root, []string{e.root.Name}, nil, true)
+		if err != nil {
+			e.errMu.Lock()
+			e.runErr = err
+			e.errMu.Unlock()
+			e.emit(Event{Kind: EventError, Err: err})
+			return
+		}
+		if st == Finished || e.stop.Load() {
+			e.emit(Event{Kind: EventFinish})
+			return
+		}
+		// Suspended: the new configuration is already installed; resume.
+		e.curRun.Store(&run{})
+		e.emit(Event{Kind: EventResume, Config: e.cfg.Load().Clone()})
+	}
+}
+
+// Mechanism returns the currently installed mechanism (nil = static).
+func (e *Exec) Mechanism() Mechanism {
+	e.mechMu.RLock()
+	defer e.mechMu.RUnlock()
+	return e.mech
+}
+
+// SetMechanism swaps the adaptation mechanism at run time — the
+// administrator changing the system's performance goal while it serves
+// (§4). A nil mechanism freezes the current configuration. The new
+// mechanism takes effect at the next control tick.
+func (e *Exec) SetMechanism(m Mechanism) {
+	e.mechMu.Lock()
+	e.mech = m
+	e.mechMu.Unlock()
+}
+
+// control periodically consults the mechanism and applies its decisions.
+func (e *Exec) control() {
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.ctrlCh:
+			return
+		case <-ticker.C:
+		}
+		mech := e.Mechanism()
+		if mech == nil {
+			continue
+		}
+		rep := e.Report()
+		newCfg := mech.Reconfigure(rep)
+		if newCfg == nil {
+			continue
+		}
+		newCfg.Normalize(e.root)
+		old := e.cfg.Load()
+		if newCfg.Equal(old) {
+			continue
+		}
+		e.cfg.Store(newCfg)
+		e.reconfigs.Add(1)
+		e.emit(Event{Kind: EventReconfigure, Config: newCfg.Clone(), Mechanism: mech.Name()})
+		if rootLevelDiffers(old, newCfg) {
+			e.suspendCurrent()
+		}
+	}
+}
+
+// rootLevelDiffers reports whether the top-level alternative or extents
+// changed, which requires respawning the long-lived root task instances.
+// Child-only changes take effect at the next nested instantiation without
+// suspension.
+func rootLevelDiffers(a, b *Config) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	if a.Alt != b.Alt || len(a.Extents) != len(b.Extents) {
+		return true
+	}
+	for i := range a.Extents {
+		if a.Extents[i] != b.Extents[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// configAt resolves the configuration node for the nest at path (root name
+// first), materializing defaults for unconfigured children. The returned
+// node is treated as immutable.
+func (e *Exec) configAt(path []string) (*NestSpec, *Config) {
+	spec := e.root
+	cfg := e.cfg.Load()
+	for _, name := range path[1:] {
+		child := findChildSpec(spec, name)
+		if child == nil {
+			// Undeclared nest: run it with defaults.
+			return spec, DefaultConfig(spec)
+		}
+		var ccfg *Config
+		if cfg != nil {
+			ccfg = cfg.Child(name)
+		}
+		if ccfg == nil {
+			ccfg = DefaultConfig(child)
+		}
+		spec, cfg = child, ccfg
+	}
+	return spec, cfg
+}
+
+// findChildSpec locates the nested nest with the given name under any
+// alternative of spec.
+func findChildSpec(spec *NestSpec, name string) *NestSpec {
+	for _, alt := range spec.Alts {
+		for i := range alt.Stages {
+			if n := alt.Stages[i].Nest; n != nil && n.Name == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// runNest instantiates and executes one nest under the current
+// configuration and blocks until every stage has drained.
+func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool) (Status, error) {
+	resolved, cfg := e.configAt(path)
+	if resolved != spec && resolved.Name != spec.Name {
+		// Undeclared nest: fall back to its own defaults.
+		cfg = DefaultConfig(spec)
+	}
+	alt := spec.Alt(cfg.Alt)
+	inst, err := alt.Make(item)
+	if err != nil {
+		return Finished, fmt.Errorf("core: instantiating %s/%s: %w",
+			strings.Join(path, "/"), alt.Name, err)
+	}
+	if inst == nil || len(inst.Stages) != len(alt.Stages) {
+		return Finished, fmt.Errorf("core: alternative %q of nest %q built %d stages, spec has %d",
+			alt.Name, spec.Name, len(inst.Stages), len(alt.Stages))
+	}
+	nestName := strings.Join(path, "/")
+
+	suspended := false
+	var suspendedMu sync.Mutex
+	var nestWG sync.WaitGroup
+
+	for i := range alt.Stages {
+		st := &alt.Stages[i]
+		fns := inst.Stages[i]
+		if fns.Fn == nil {
+			return Finished, fmt.Errorf("core: stage %q of nest %q has no functor", st.Name, spec.Name)
+		}
+		key := monitor.Key{Nest: nestName, Stage: st.Name}
+		stats := e.mon.Stage(key)
+		release := e.mon.RegisterLoad(key, fns.Load)
+		extent := st.clampExtent(cfg.Extent(i))
+		if fns.Init != nil {
+			fns.Init()
+		}
+		var stageWG sync.WaitGroup
+		for slot := 0; slot < extent; slot++ {
+			stageWG.Add(1)
+			go func(slot, extent int) {
+				defer stageWG.Done()
+				w := &Worker{
+					exec: e, run: r, key: key, stats: stats,
+					path: path, top: top, slot: slot, item: item,
+					extent: extent,
+				}
+				defer func() {
+					// A panicking functor must not take down the whole
+					// process (the paper's tasks are application code the
+					// runtime cannot vouch for): balance the CPU section,
+					// record the failure, and stop the run.
+					if p := recover(); p != nil {
+						if w.holding {
+							w.End()
+						}
+						e.recordTaskPanic(key, p)
+					}
+				}()
+				for {
+					status := fns.Fn(w)
+					if w.holding {
+						// The functor returned without closing its CPU
+						// section; balance it so the context is not leaked.
+						w.End()
+					}
+					if status != Executing {
+						if status == Suspended {
+							suspendedMu.Lock()
+							suspended = true
+							suspendedMu.Unlock()
+						}
+						return
+					}
+				}
+			}(slot, extent)
+		}
+		nestWG.Add(1)
+		go func(fini func(), release func(), stats *monitor.StageStats, wg *sync.WaitGroup) {
+			defer nestWG.Done()
+			wg.Wait()
+			if fini != nil {
+				fini()
+			}
+			release()
+			stats.ObserveInstanceDone()
+		}(fns.Fini, release, stats, &stageWG)
+	}
+	nestWG.Wait()
+	if suspended {
+		return Suspended, nil
+	}
+	return Finished, nil
+}
+
+func (e *Exec) emit(ev Event) {
+	if e.trace == nil {
+		return
+	}
+	ev.Time = e.Uptime()
+	e.trace(ev)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/platform"
+	"dope/internal/queue"
+)
+
+func TestWorkerSlotAndItemAndExtent(t *testing.T) {
+	var mu sync.Mutex
+	slots := map[int]bool{}
+	var sawItem atomic.Value
+	inner := &NestSpec{Name: "in", Alts: []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "s", Type: PAR}},
+		Make: func(item any) (*AltInstance, error) {
+			var n atomic.Int64
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if n.Add(1) > 12 {
+						return Finished
+					}
+					mu.Lock()
+					slots[w.Slot()] = true
+					mu.Unlock()
+					if w.Extent() != 3 {
+						t.Errorf("extent = %d, want 3", w.Extent())
+					}
+					sawItem.Store(w.Item())
+					w.Begin()
+					time.Sleep(500 * time.Microsecond) // let every slot join in
+					w.End()
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	root := &NestSpec{Name: "out", Alts: []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "o", Type: SEQ, Nest: inner}},
+		Make: func(item any) (*AltInstance, error) {
+			done := false
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if done {
+						return Finished
+					}
+					done = true
+					if _, err := w.RunNest(inner, "payload"); err != nil {
+						t.Error(err)
+					}
+					return Executing
+				},
+			}}}, nil
+		},
+	}}}
+	cfg := &Config{Alt: 0, Extents: []int{1}}
+	cfg.SetChild("in", &Config{Alt: 0, Extents: []int{3}})
+	e, err := New(root, WithContexts(4), WithInitialConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for s := 0; s < 3; s++ {
+		if !slots[s] {
+			t.Fatalf("slot %d never ran: %v", s, slots)
+		}
+	}
+	if got, _ := sawItem.Load().(string); got != "payload" {
+		t.Fatalf("item = %v", sawItem.Load())
+	}
+}
+
+func TestOptionPlumbing(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	pool := platform.NewContexts(5)
+	feats := platform.NewFeatures()
+	clock := platform.NewVirtualClock(time.Unix(0, 0))
+	e, err := New(doallSpec(work, &processed),
+		WithContextPool(pool),
+		WithFeatures(feats),
+		WithClock(clock),
+		WithMonitorAlpha(0.9),
+		WithControlInterval(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Contexts() != pool {
+		t.Fatal("context pool not installed")
+	}
+	if e.Features() != feats {
+		t.Fatal("feature registry not installed")
+	}
+	if e.Clock() != platform.Clock(clock) {
+		t.Fatal("clock not installed")
+	}
+	if v, err := feats.Value(platform.FeatureHardwareContexts); err != nil || v != 5 {
+		t.Fatalf("contexts feature = %v, %v", v, err)
+	}
+	// Nil/zero options are ignored rather than clobbering defaults.
+	e2, err := New(doallSpec(work, &processed),
+		WithClock(nil), WithFeatures(nil), WithControlInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Clock() == nil || e2.Features() == nil {
+		t.Fatal("nil options clobbered defaults")
+	}
+	if e.Uptime() != 0 {
+		t.Fatal("uptime before start should be zero")
+	}
+	work.Close()
+	e.Run()
+	e2.Run()
+}

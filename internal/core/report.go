@@ -1,0 +1,223 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"dope/internal/monitor"
+	"dope/internal/platform"
+)
+
+// StageReport is the monitored view of one stage, aggregated across all its
+// instances (the paper's DoPE::getExecTime and DoPE::getLoad query results).
+type StageReport struct {
+	// Name, Type, MinDoP, MaxDoP echo the stage's spec.
+	Name   string
+	Type   TaskType
+	MinDoP int
+	MaxDoP int
+	// HasNest reports whether the stage delegates to a nested loop.
+	HasNest bool
+	// Extent is the configured DoP extent.
+	Extent int
+	// ExecTime is the smoothed per-iteration CPU time in seconds.
+	ExecTime float64
+	// MeanExecTime is the lifetime mean per-iteration CPU time in seconds.
+	MeanExecTime float64
+	// Rate is the smoothed iteration completion rate (iterations/second,
+	// summed over concurrent instances) — the throughput signal §7.2's
+	// mechanisms balance.
+	Rate float64
+	// Load is the summed value of the stage's live LoadCBs (typically
+	// total in-queue occupancy) and LoadInstances how many instances
+	// reported.
+	Load          float64
+	LoadInstances int
+	// Iterations and Completed count loop-body executions and finished
+	// instances.
+	Iterations uint64
+	Completed  uint64
+}
+
+// NestReport is the monitored view of one nest under its current
+// configuration.
+type NestReport struct {
+	// Name is the nest's own name; Path the slash-joined path from the root.
+	Name string
+	Path string
+	// Spec is the nest's static description.
+	Spec *NestSpec
+	// AltIndex and AltName identify the configured alternative.
+	AltIndex int
+	AltName  string
+	// Stages reports the stages of the configured alternative, in order.
+	Stages []StageReport
+	// Children holds reports for nested loops declared under the
+	// configured alternative, keyed by nest name.
+	Children map[string]*NestReport
+}
+
+// Stage returns the report for the named stage, or nil.
+func (n *NestReport) Stage(name string) *StageReport {
+	for i := range n.Stages {
+		if n.Stages[i].Name == name {
+			return &n.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Report is the complete observation snapshot handed to a mechanism on each
+// control tick.
+type Report struct {
+	// Time is the executive uptime at snapshot.
+	Time time.Duration
+	// Contexts is the hardware-context budget; BusyContexts the current
+	// occupancy and BlockedAcquires how many workers are waiting for a
+	// context (persistent blocking signals oversubscription).
+	Contexts        int
+	BusyContexts    int
+	BlockedAcquires int
+	// Features exposes registered platform features (power, etc.).
+	Features *platform.Features
+	// Config is a mutable copy of the active configuration; mechanisms may
+	// edit and return it from Reconfigure.
+	Config *Config
+	// Root is the observation tree.
+	Root *NestReport
+}
+
+// Nest returns the report at the slash-joined path ("app/video"), or nil.
+func (r *Report) Nest(path string) *NestReport {
+	parts := strings.Split(path, "/")
+	cur := r.Root
+	if cur == nil || parts[0] != cur.Name {
+		return nil
+	}
+	for _, p := range parts[1:] {
+		cur = cur.Children[p]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Mechanism is an optimization routine that inspects a Report and either
+// returns a new configuration to install or nil to keep the current one
+// (the paper's Mechanism::reconfigureParallelism).
+type Mechanism interface {
+	// Name identifies the mechanism in traces.
+	Name() string
+	// Reconfigure may mutate and return r.Config, or build a fresh Config,
+	// or return nil for "no change". The executive normalizes the result.
+	Reconfigure(r *Report) *Config
+}
+
+// Report builds an observation snapshot of the whole nest tree.
+func (e *Exec) Report() *Report {
+	cfg := e.cfg.Load()
+	rep := &Report{
+		Time:            e.Uptime(),
+		Contexts:        e.contexts.N(),
+		BusyContexts:    e.contexts.Busy(),
+		BlockedAcquires: e.contexts.Blocked(),
+		Features:        e.features,
+		Config:          cfg.Clone(),
+	}
+	rep.Root = e.nestReport(e.root, cfg, []string{e.root.Name})
+	return rep
+}
+
+func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestReport {
+	if cfg == nil {
+		cfg = DefaultConfig(spec)
+	}
+	alt := spec.Alt(cfg.Alt)
+	nestName := strings.Join(path, "/")
+	nr := &NestReport{
+		Name:     spec.Name,
+		Path:     nestName,
+		Spec:     spec,
+		AltIndex: cfg.Alt,
+		AltName:  alt.Name,
+	}
+	for i := range alt.Stages {
+		st := &alt.Stages[i]
+		key := monitor.Key{Nest: nestName, Stage: st.Name}
+		ss := e.mon.Stage(key)
+		load, n := e.mon.Load(key)
+		nr.Stages = append(nr.Stages, StageReport{
+			Name:          st.Name,
+			Type:          st.Type,
+			MinDoP:        st.MinDoP,
+			MaxDoP:        st.MaxDoP,
+			HasNest:       st.Nest != nil,
+			Extent:        st.clampExtent(cfg.Extent(i)),
+			ExecTime:      ss.ExecTime(),
+			MeanExecTime:  ss.MeanExecTime(),
+			Rate:          ss.Rate(),
+			Load:          load,
+			LoadInstances: n,
+			Iterations:    ss.Iterations(),
+			Completed:     ss.Completed(),
+		})
+		if st.Nest != nil {
+			if nr.Children == nil {
+				nr.Children = make(map[string]*NestReport)
+			}
+			childPath := append(append([]string(nil), path...), st.Nest.Name)
+			nr.Children[st.Nest.Name] = e.nestReport(st.Nest, cfg.Child(st.Nest.Name), childPath)
+		}
+	}
+	return nr
+}
+
+// EventKind classifies executive trace events.
+type EventKind int
+
+const (
+	// EventReconfigure: a new configuration was installed.
+	EventReconfigure EventKind = iota
+	// EventSuspend: the executive requested top-level task suspension.
+	EventSuspend
+	// EventResume: top-level tasks respawned under a new configuration.
+	EventResume
+	// EventFinish: the application completed.
+	EventFinish
+	// EventError: a task or instantiation failed; the run is over.
+	EventError
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventReconfigure:
+		return "reconfigure"
+	case EventSuspend:
+		return "suspend"
+	case EventResume:
+		return "resume"
+	case EventFinish:
+		return "finish"
+	case EventError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one executive trace record.
+type Event struct {
+	// Time is executive uptime at emission.
+	Time time.Duration
+	// Kind classifies the event.
+	Kind EventKind
+	// Config is a copy of the configuration involved, when applicable.
+	Config *Config
+	// Mechanism names the deciding mechanism for reconfigurations driven
+	// by the control loop.
+	Mechanism string
+	// Err carries the failure for EventError.
+	Err error
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Functor is one iteration of a task's loop body. It is invoked repeatedly
+// by each worker assigned to the stage until it returns Finished or
+// Suspended (the paper's TaskExecutor control-flow abstraction, Figure 4).
+// Implementations bracket their CPU-intensive section with Worker.Begin and
+// Worker.End and run nested loops with Worker.RunNest.
+type Functor func(w *Worker) Status
+
+// StageFns is the runtime material of one stage instance: the functor plus
+// the optional callbacks of the paper's Task type.
+type StageFns struct {
+	// Fn is the loop body; required.
+	Fn Functor
+	// Load reports the stage's current workload (typically its in-queue
+	// occupancy); optional.
+	Load func() float64
+	// Init runs once before any worker executes Fn (the paper's InitCB);
+	// optional.
+	Init func()
+	// Fini runs once after every worker of the stage has exited (the
+	// paper's FiniCB, used to propagate drain sentinels downstream);
+	// optional.
+	Fini func()
+}
+
+// AltInstance is a fresh instantiation of an alternative: one StageFns per
+// stage, index-aligned with AltSpec.Stages.
+type AltInstance struct {
+	Stages []StageFns
+}
+
+// StageSpec statically describes one stage of an alternative.
+type StageSpec struct {
+	// Name identifies the stage for monitoring and configuration; must be
+	// unique within the alternative.
+	Name string
+	// Type is SEQ or PAR.
+	Type TaskType
+	// MinDoP is the smallest extent at which the stage speeds up over
+	// sequential execution (Table 4's "Inner DoPmin extent for speedup").
+	// Zero means 1. Configurations below MinDoP are legal but unhelpful;
+	// mechanisms may consult it.
+	MinDoP int
+	// MaxDoP caps the extent; zero means unlimited.
+	MaxDoP int
+	// Nest, when non-nil, declares that this stage's functor runs the given
+	// nested loop via Worker.RunNest.
+	Nest *NestSpec
+}
+
+// AltSpec is one alternative parallelization of a loop (one ParDescriptor).
+type AltSpec struct {
+	// Name identifies the alternative, e.g. "pipeline" or "fused".
+	Name string
+	// Stages lists the interacting tasks; the first is the master task,
+	// whose completion status the loop reports (§3.2 step 4).
+	Stages []StageSpec
+	// Make instantiates fresh functors and connecting state (queues) for
+	// one run of the loop over the given work item. item is nil for the
+	// root loop. Make is called once per parent worker per iteration for
+	// nested loops, so it must be safe for concurrent use.
+	Make func(item any) (*AltInstance, error)
+}
+
+// NestSpec is the static description of one parallelized loop together with
+// its alternative parallelizations (the paper's TaskDescriptor with its
+// choice of ParDescriptors).
+type NestSpec struct {
+	// Name identifies the loop; must be unique among siblings.
+	Name string
+	// Alts are the alternative parallelizations; at least one.
+	Alts []*AltSpec
+}
+
+// Validate checks structural invariants of the spec tree: non-empty names,
+// at least one alternative per nest, at least one stage per alternative,
+// functor factories present, and name uniqueness among stages and nested
+// loops.
+func (n *NestSpec) Validate() error {
+	return n.validate(map[*NestSpec]bool{})
+}
+
+func (n *NestSpec) validate(seen map[*NestSpec]bool) error {
+	if n == nil {
+		return fmt.Errorf("core: nil nest spec")
+	}
+	if seen[n] {
+		return fmt.Errorf("core: nest %q appears in its own ancestry", n.Name)
+	}
+	seen[n] = true
+	defer delete(seen, n)
+	if n.Name == "" {
+		return fmt.Errorf("core: nest with empty name")
+	}
+	if len(n.Alts) == 0 {
+		return fmt.Errorf("core: nest %q has no alternatives", n.Name)
+	}
+	for _, alt := range n.Alts {
+		if alt == nil {
+			return fmt.Errorf("core: nest %q has a nil alternative", n.Name)
+		}
+		if alt.Name == "" {
+			return fmt.Errorf("core: nest %q has an unnamed alternative", n.Name)
+		}
+		if len(alt.Stages) == 0 {
+			return fmt.Errorf("core: alternative %q of nest %q has no stages", alt.Name, n.Name)
+		}
+		if alt.Make == nil {
+			return fmt.Errorf("core: alternative %q of nest %q has no Make", alt.Name, n.Name)
+		}
+		names := make(map[string]bool, len(alt.Stages))
+		childNames := make(map[string]bool)
+		for _, st := range alt.Stages {
+			if st.Name == "" {
+				return fmt.Errorf("core: alternative %q of nest %q has an unnamed stage", alt.Name, n.Name)
+			}
+			if names[st.Name] {
+				return fmt.Errorf("core: alternative %q of nest %q repeats stage %q", alt.Name, n.Name, st.Name)
+			}
+			names[st.Name] = true
+			if st.MinDoP < 0 || st.MaxDoP < 0 {
+				return fmt.Errorf("core: stage %q has negative DoP bound", st.Name)
+			}
+			if st.MaxDoP > 0 && st.MinDoP > st.MaxDoP {
+				return fmt.Errorf("core: stage %q has MinDoP > MaxDoP", st.Name)
+			}
+			if st.Nest != nil {
+				if childNames[st.Nest.Name] {
+					return fmt.Errorf("core: alternative %q of nest %q nests %q twice", alt.Name, n.Name, st.Nest.Name)
+				}
+				childNames[st.Nest.Name] = true
+				if err := st.Nest.validate(seen); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Alt returns the i-th alternative, clamping i into range so a stale
+// configuration can never index out of bounds.
+func (n *NestSpec) Alt(i int) *AltSpec {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(n.Alts) {
+		i = len(n.Alts) - 1
+	}
+	return n.Alts[i]
+}
+
+// FindAlt returns the index of the alternative with the given name, or -1.
+func (n *NestSpec) FindAlt(name string) int {
+	for i, a := range n.Alts {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// clampExtent applies the stage's type and DoP bounds to a requested extent.
+func (s *StageSpec) clampExtent(e int) int {
+	if s.Type == SEQ {
+		return 1
+	}
+	if e < 1 {
+		e = 1
+	}
+	if s.MaxDoP > 0 && e > s.MaxDoP {
+		e = s.MaxDoP
+	}
+	return e
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func leafAlt(name string, stages ...StageSpec) *AltSpec {
+	return &AltSpec{
+		Name:   name,
+		Stages: stages,
+		Make: func(item any) (*AltInstance, error) {
+			inst := &AltInstance{}
+			for range stages {
+				inst.Stages = append(inst.Stages, StageFns{
+					Fn: func(w *Worker) Status { return Finished },
+				})
+			}
+			return inst, nil
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	inner := &NestSpec{Name: "video", Alts: []*AltSpec{
+		leafAlt("pipeline",
+			StageSpec{Name: "read", Type: SEQ},
+			StageSpec{Name: "transform", Type: PAR, MinDoP: 2},
+			StageSpec{Name: "write", Type: SEQ}),
+		leafAlt("fused", StageSpec{Name: "all", Type: SEQ}),
+	}}
+	root := &NestSpec{Name: "app", Alts: []*AltSpec{
+		leafAlt("outer", StageSpec{Name: "transcode", Type: PAR, Nest: inner}),
+	}}
+	if err := root.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *NestSpec
+		want string
+	}{
+		{"empty name", &NestSpec{Name: "", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"})}}, "empty name"},
+		{"no alts", &NestSpec{Name: "n"}, "no alternatives"},
+		{"nil alt", &NestSpec{Name: "n", Alts: []*AltSpec{nil}}, "nil alternative"},
+		{"unnamed alt", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("", StageSpec{Name: "s"})}}, "unnamed alternative"},
+		{"no stages", &NestSpec{Name: "n", Alts: []*AltSpec{{Name: "a", Make: func(any) (*AltInstance, error) { return nil, nil }}}}, "no stages"},
+		{"no make", &NestSpec{Name: "n", Alts: []*AltSpec{{Name: "a", Stages: []StageSpec{{Name: "s"}}}}}, "no Make"},
+		{"unnamed stage", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: ""})}}, "unnamed stage"},
+		{"dup stage", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"}, StageSpec{Name: "s"})}}, "repeats stage"},
+		{"neg dop", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: -1})}}, "negative DoP"},
+		{"min>max", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: 5, MaxDoP: 2})}}, "MinDoP > MaxDoP"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsCycles(t *testing.T) {
+	n := &NestSpec{Name: "n"}
+	n.Alts = []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "s", Nest: n}},
+		Make:   func(any) (*AltInstance, error) { return nil, nil },
+	}}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "ancestry") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateChildNests(t *testing.T) {
+	child := &NestSpec{Name: "c", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"})}}
+	n := &NestSpec{Name: "n", Alts: []*AltSpec{{
+		Name: "a",
+		Stages: []StageSpec{
+			{Name: "s1", Nest: child},
+			{Name: "s2", Nest: child},
+		},
+		Make: func(any) (*AltInstance, error) { return nil, nil },
+	}}}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate child nests not detected: %v", err)
+	}
+}
+
+func TestAltClamps(t *testing.T) {
+	n := &NestSpec{Name: "n", Alts: []*AltSpec{
+		leafAlt("a", StageSpec{Name: "s"}),
+		leafAlt("b", StageSpec{Name: "s"}),
+	}}
+	if n.Alt(-5).Name != "a" {
+		t.Error("negative index should clamp to first")
+	}
+	if n.Alt(99).Name != "b" {
+		t.Error("overlarge index should clamp to last")
+	}
+	if n.FindAlt("b") != 1 || n.FindAlt("zzz") != -1 {
+		t.Error("FindAlt wrong")
+	}
+}
+
+func TestClampExtent(t *testing.T) {
+	seq := StageSpec{Name: "s", Type: SEQ}
+	if seq.clampExtent(8) != 1 {
+		t.Error("SEQ must clamp to 1")
+	}
+	par := StageSpec{Name: "p", Type: PAR, MaxDoP: 6}
+	if par.clampExtent(0) != 1 {
+		t.Error("extent below 1 must clamp to 1")
+	}
+	if par.clampExtent(99) != 6 {
+		t.Error("extent above MaxDoP must clamp")
+	}
+	unbounded := StageSpec{Name: "u", Type: PAR}
+	if unbounded.clampExtent(1000) != 1000 {
+		t.Error("unbounded PAR should accept any extent")
+	}
+}
+
+func TestStatusAndTypeStrings(t *testing.T) {
+	if Executing.String() != "EXECUTING" || Suspended.String() != "SUSPENDED" ||
+		Finished.String() != "FINISHED" || Status(99).String() != "INVALID" {
+		t.Error("status strings wrong")
+	}
+	if SEQ.String() != "SEQ" || PAR.String() != "PAR" {
+		t.Error("task type strings wrong")
+	}
+	if EventReconfigure.String() != "reconfigure" || EventKind(99).String() != "unknown" {
+		t.Error("event kind strings wrong")
+	}
+}

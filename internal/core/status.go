@@ -1,0 +1,73 @@
+// Package core implements the Degree of Parallelism Executive: the task
+// model, the configuration tree, the monitoring hooks, and the
+// suspend→drain→reconfigure→resume protocol of the paper (§3–§6).
+//
+// # Model
+//
+// An application declares its parallelism as a static tree of nest
+// specifications. A NestSpec corresponds to one parallelized loop and offers
+// one or more alternatives (the paper's choice of ParDescriptors, used by
+// task fusion). Each AltSpec lists its stages (the paper's Tasks: SEQ or
+// PAR) and provides a Make factory that instantiates fresh functors and
+// queues for one run of the loop. A stage may declare a nested NestSpec;
+// its functor runs the nested loop for the current work item via
+// Worker.RunNest, and each concurrent parent worker owns a private instance
+// of the nested loop — exactly the Pthreads structure of Figure 7, where
+// every outer transcoding thread spawns its own inner pipeline.
+//
+// The executive assigns each nest a Config: which alternative runs and with
+// what DoP extent per stage. Mechanisms (package mechanism) recompute the
+// Config from monitored features; the executive applies inner-nest changes
+// at the next instantiation and root changes through the suspension
+// protocol, in which top-level workers observe Suspended from Task.Begin /
+// Task.End, drain via their FiniCBs, and are respawned under the new
+// configuration.
+package core
+
+// Status is the state a task reports after each iteration of its loop body
+// (the paper's TaskStatus).
+type Status int
+
+const (
+	// Executing means the loop should continue with another iteration.
+	Executing Status = iota
+	// Suspended means the executive requested reconfiguration and the task
+	// has reached a consistent point; the worker loop exits and will be
+	// respawned under the new configuration.
+	Suspended
+	// Finished means the loop's exit branch was taken; the task is done.
+	Finished
+)
+
+// String returns the conventional name of the status.
+func (s Status) String() string {
+	switch s {
+	case Executing:
+		return "EXECUTING"
+	case Suspended:
+		return "SUSPENDED"
+	case Finished:
+		return "FINISHED"
+	default:
+		return "INVALID"
+	}
+}
+
+// TaskType says whether a stage's functor may be invoked concurrently by
+// multiple workers (the paper's SEQ | PAR).
+type TaskType int
+
+const (
+	// SEQ stages always run with extent 1.
+	SEQ TaskType = iota
+	// PAR stages run with any extent the configuration assigns.
+	PAR
+)
+
+// String returns the conventional name of the task type.
+func (t TaskType) String() string {
+	if t == SEQ {
+		return "SEQ"
+	}
+	return "PAR"
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"time"
+
+	"dope/internal/monitor"
+)
+
+// Worker is the execution context handed to a Functor. It provides the
+// paper's Task methods: Begin/End delimit the CPU-intensive section (Table
+// 2), and RunNest runs a nested loop for the current work item and waits
+// for it (Task::wait).
+//
+// A Worker is owned by exactly one goroutine; it must not escape the
+// functor invocation.
+type Worker struct {
+	exec  *Exec
+	run   *run
+	key   monitor.Key
+	stats *monitor.StageStats
+	path  []string
+	// top is true for workers of the root loop; only they observe
+	// Suspended, because nested instances always drain naturally with
+	// their parent's current work item.
+	top    bool
+	slot   int
+	extent int
+	item   any
+
+	holding bool
+	beginAt time.Time
+}
+
+// Slot returns this worker's index within its stage's DoP extent, in
+// [0, extent). Useful for DOALL stages that partition an index space.
+func (w *Worker) Slot() int { return w.slot }
+
+// Item returns the work item the enclosing nested loop was instantiated
+// for, or nil at the root.
+func (w *Worker) Item() any { return w.item }
+
+// Extent returns the DoP extent this worker's stage was spawned with.
+func (w *Worker) Extent() int { return w.extent }
+
+// Suspending reports whether the executive has requested reconfiguration of
+// this worker's run. Functors that block for work outside Begin/End (e.g.
+// on a queue) consult it to stay responsive to suspension, typically via
+// queue.DequeueWhile.
+func (w *Worker) Suspending() bool { return w.top && w.run.suspending() }
+
+// Begin signals that the CPU-intensive part of the task is starting. It
+// claims a hardware context and starts the execution timer. If the
+// executive has requested reconfiguration (top-level workers only), Begin
+// returns Suspended without claiming a context and the functor should
+// return Suspended at once.
+func (w *Worker) Begin() Status {
+	if w.top && w.run.suspending() {
+		return Suspended
+	}
+	w.exec.contexts.Acquire()
+	w.holding = true
+	w.beginAt = w.exec.clock.Now()
+	return Executing
+}
+
+// End signals that the CPU-intensive part has ended: the context is
+// released and the elapsed time is recorded for the monitors. Like Begin it
+// reports Suspended when reconfiguration is pending.
+func (w *Worker) End() Status {
+	if w.holding {
+		now := w.exec.clock.Now()
+		w.stats.ObserveIteration(now.Sub(w.beginAt), now)
+		w.holding = false
+		w.exec.contexts.Release()
+	}
+	if w.top && w.run.suspending() {
+		return Suspended
+	}
+	return Executing
+}
+
+// RunNest instantiates the nested loop spec for item under the current
+// configuration, runs it to completion, and returns the master stage's
+// final status (Finished on natural completion). When reconfiguration is
+// pending and this is a top-level worker, RunNest reports Suspended after
+// the nested loop has drained, so no work is lost.
+//
+// The stage must have declared spec in its StageSpec.Nest; undeclared nests
+// still run but adapt only with default configuration.
+func (w *Worker) RunNest(spec *NestSpec, item any) (Status, error) {
+	childPath := append(append([]string(nil), w.path...), spec.Name)
+	st, err := w.exec.runNest(w.run, spec, childPath, item, false)
+	if err != nil {
+		return st, err
+	}
+	if w.top && w.run.suspending() {
+		return Suspended, nil
+	}
+	return st, nil
+}

@@ -1,0 +1,172 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§8). Each experiment returns a Table whose rows/series mirror
+// what the paper plots; the cmd/dope-bench binary prints them and the
+// repository's benchmark suite (bench_test.go) wraps them in testing.B
+// targets.
+//
+// Quantitative sweeps run on the discrete-event simulator (package sim) so
+// they are deterministic and fast; the "live-*" experiments exercise the
+// same applications on the real runtime (packages core + apps) at reduced
+// scale.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid with notes.
+type Table struct {
+	// ID is the experiment identifier ("fig2a", "table5", ...).
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// Notes carry expectations from the paper for eyeball comparison.
+	Notes []string
+}
+
+// Fprint renders the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// f3 formats a float with three significant decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fx formats a ratio as "N.NNx".
+func fx(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// ms formats seconds as milliseconds.
+func ms(v float64) string { return fmt.Sprintf("%.1f", v*1000) }
+
+// loads is the standard load-factor sweep of the paper's figures.
+func loads() []float64 {
+	out := make([]float64, 0, 10)
+	for lf := 0.1; lf <= 1.0+1e-9; lf += 0.1 {
+		out = append(out, lf)
+	}
+	return out
+}
+
+// Experiments lists every available experiment id with a description.
+func Experiments() [][2]string {
+	return [][2]string{
+		{"summary", "all headline claims, paper vs measured, in one table"},
+		{"fig2a", "transcode execution time vs load per inner DoP"},
+		{"fig2b", "transcode throughput vs load per inner DoP"},
+		{"fig2c", "transcode response time: statics vs oracle"},
+		{"fig11a", "x264 response time vs load: statics, WQT-H, WQ-Linear"},
+		{"fig11b", "swaptions response time vs load"},
+		{"fig11c", "bzip response time vs load"},
+		{"fig11d", "gimp response time vs load"},
+		{"fig12", "ferret response time vs load: statics vs DoPE"},
+		{"fig13", "ferret throughput vs time under TBF"},
+		{"fig14", "ferret power & throughput vs time under TPC"},
+		{"table3", "mechanism implementation sizes (lines of code)"},
+		{"ext-locality", "EXTENSION: task placement vs communication locality"},
+		{"ext-edp", "EXTENSION: the min energy-delay-product goal"},
+		{"table4", "application port summary"},
+		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
+		{"live-transcode", "real-runtime transcode server under WQ-Linear"},
+		{"live-ferret", "real-runtime ferret batch under TBF"},
+		{"live-power", "real-runtime ferret under TPC with a watt budget"},
+		{"live-goals", "real-runtime ferret: three goals switched at run time"},
+	}
+}
+
+// Run dispatches an experiment by id with the given scale factor
+// (1.0 = paper scale for simulated experiments; live experiments are always
+// reduced).
+func Run(id string, scale float64) (*Table, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	switch id {
+	case "summary":
+		return Summary(scale), nil
+	case "fig2a":
+		return Fig2a(scale), nil
+	case "fig2b":
+		return Fig2b(scale), nil
+	case "fig2c":
+		return Fig2c(scale), nil
+	case "fig11a":
+		return Fig11("x264", scale), nil
+	case "fig11b":
+		return Fig11("swaptions", scale), nil
+	case "fig11c":
+		return Fig11("bzip", scale), nil
+	case "fig11d":
+		return Fig11("gimp", scale), nil
+	case "fig12":
+		return Fig12(scale), nil
+	case "fig13":
+		return Fig13(scale), nil
+	case "fig14":
+		return Fig14(scale), nil
+	case "table3":
+		return Table3(), nil
+	case "ext-locality":
+		return ExtLocality(scale), nil
+	case "ext-edp":
+		return ExtEDP(scale), nil
+	case "table4":
+		return Table4(), nil
+	case "table5":
+		return Table5(scale), nil
+	case "live-transcode":
+		return LiveTranscode()
+	case "live-ferret":
+		return LiveFerret()
+	case "live-power":
+		return LivePower()
+	case "live-goals":
+		return LiveGoals()
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (see Experiments())", id)
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// FprintCSV renders the table as CSV (header row first).
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FprintJSON renders the table as a JSON object with id, title, header,
+// rows, and notes.
+func (t *Table) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
+}
+
+// FprintPlot renders the table as an ASCII chart: the first column is the
+// x axis, every further numeric column a series. Good enough to eyeball
+// the paper's figure shapes in a terminal.
+func (t *Table) FprintPlot(w io.Writer, height int) error {
+	if height < 4 {
+		height = 12
+	}
+	if len(t.Rows) < 2 || len(t.Header) < 2 {
+		return fmt.Errorf("harness: table %s is not plottable", t.ID)
+	}
+	nSeries := len(t.Header) - 1
+	marks := []byte("*o+x#@%&")
+	// Parse values; skip non-numeric cells.
+	vals := make([][]float64, len(t.Rows))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, row := range t.Rows {
+		vals[i] = make([]float64, nSeries)
+		for j := 0; j < nSeries; j++ {
+			v := math.NaN()
+			if j+1 < len(row) {
+				if p, err := strconv.ParseFloat(strings.TrimSuffix(row[j+1], "x"), 64); err == nil {
+					v = p
+				}
+			}
+			vals[i][j] = v
+			if !math.IsNaN(v) {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("harness: table %s has no numeric series", t.ID)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(t.Rows)*3))
+	}
+	for i := range vals {
+		for j := 0; j < nSeries; j++ {
+			v := vals[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			r := int((hi - v) / (hi - lo) * float64(height-1))
+			grid[r][i*3+1] = marks[j%len(marks)]
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.1f", (hi+lo)/2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	// x labels: first and last.
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", len(t.Rows)*3))
+	fmt.Fprintf(w, "%s  x: %s .. %s (%s)\n", strings.Repeat(" ", 8),
+		t.Rows[0][0], t.Rows[len(t.Rows)-1][0], t.Header[0])
+	for j := 0; j < nSeries; j++ {
+		fmt.Fprintf(w, "%s  %c = %s\n", strings.Repeat(" ", 8), marks[j%len(marks)], t.Header[j+1])
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID: "t", Title: "sample", Header: []string{"x", "a", "b"},
+		Rows: [][]string{
+			{"0.1", "1.0", "9.0"},
+			{"0.5", "5.0", "5.0"},
+			{"0.9", "9.0", "1.0"},
+		},
+		Notes: []string{"note"},
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0][1] != "a" || recs[3][2] != "1.0" {
+		t.Fatalf("csv = %v", recs)
+	}
+}
+
+func TestFprintJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID    string     `json:"id"`
+		Rows  [][]string `json:"rows"`
+		Notes []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "t" || len(got.Rows) != 3 || got.Notes[0] != "note" {
+		t.Fatalf("json = %+v", got)
+	}
+}
+
+func TestFprintPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().FprintPlot(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"*", "o", "x: 0.1 .. 0.9", "* = a", "o = b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The two series cross: 'a' rises, 'b' falls; the top row must contain
+	// one mark of each at opposite ends.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "o") || !strings.Contains(top, "*") {
+		t.Fatalf("crossover not visible in top row: %q", top)
+	}
+}
+
+func TestFprintPlotRejectsTiny(t *testing.T) {
+	bad := &Table{ID: "x", Header: []string{"only"}, Rows: [][]string{{"1"}}}
+	if err := bad.FprintPlot(&bytes.Buffer{}, 10); err == nil {
+		t.Fatal("unplottable table accepted")
+	}
+	nonNumeric := &Table{ID: "y", Header: []string{"x", "s"},
+		Rows: [][]string{{"a", "zzz"}, {"b", "qqq"}}}
+	if err := nonNumeric.FprintPlot(&bytes.Buffer{}, 10); err == nil {
+		t.Fatal("non-numeric table accepted")
+	}
+}
+
+func TestFprintPlotHandlesRatioCells(t *testing.T) {
+	tab := &Table{ID: "r", Title: "ratios", Header: []string{"row", "speedup"},
+		Rows: [][]string{{"a", "1.00x"}, {"b", "2.44x"}}}
+	var buf bytes.Buffer
+	if err := tab.FprintPlot(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.4") {
+		t.Fatalf("ratio axis missing:\n%s", buf.String())
+	}
+}
+
+func TestFprintPlotFlatSeries(t *testing.T) {
+	tab := &Table{ID: "f", Title: "flat", Header: []string{"x", "v"},
+		Rows: [][]string{{"1", "5"}, {"2", "5"}}}
+	if err := tab.FprintPlot(&bytes.Buffer{}, 6); err != nil {
+		t.Fatal(err) // constant series must not divide by zero
+	}
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"dope/internal/mechanism"
+	"dope/internal/sim"
+)
+
+// Summary runs the paper's headline claims end to end and reports each as
+// ok/FAIL next to the paper's number — one command for a reviewer to check
+// the reproduction:
+//
+//	go run ./cmd/dope-bench -exp summary
+func Summary(scale float64) *Table {
+	t := &Table{
+		ID:     "summary",
+		Title:  "Headline claims, paper vs this reproduction",
+		Header: []string{"claim", "paper", "measured", "verdict"},
+	}
+	tasks := tasksAt(scale, 500)
+	check := func(claim, paper, measured string, ok bool) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		t.Rows = append(t.Rows, []string{claim, paper, measured, verdict})
+	}
+
+	// 1. Figure 2(a): intra-video speedup at DoP 8.
+	tr := sim.Transcode()
+	s8 := tr.SeqTime / tr.ParTime(8)
+	check("x264 exec-time speedup at inner DoP 8", "6.3x", fx(s8), s8 > 5.8 && s8 < 6.6)
+
+	// 2. Figure 2(b): inner parallelism degrades throughput at saturation.
+	seqH := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 1.0, Seed: 11, OuterK: 24, InnerM: 1})
+	parH := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 1.0, Seed: 11, OuterK: 3, InnerM: 8})
+	check("throughput at load 1.0: inner-par vs inner-seq", "degrades",
+		fx(parH.Throughput/seqH.Throughput), parH.Throughput < seqH.Throughput)
+
+	// 3. Figure 2(c): the oracle dominates both statics at the crossover.
+	seqM := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 0.8, Seed: 11, OuterK: 24, InnerM: 1})
+	parM := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 0.8, Seed: 11, OuterK: 3, InnerM: 8})
+	ora := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 0.8, Seed: 11, Oracle: true})
+	bestStatic := math.Min(seqM.MeanResponse, parM.MeanResponse)
+	check("oracle response at load 0.8 vs best static", "dominates",
+		fmt.Sprintf("%s vs %s ms", ms(ora.MeanResponse), ms(bestStatic)),
+		ora.MeanResponse <= bestStatic*1.05)
+
+	// 4. Figure 11: WQ-Linear beats both statics at heavy load.
+	wql := sim.RunServer(tr, sim.ServerConfig{
+		Tasks: tasks, LoadFactor: 0.9, Seed: 13, ControlEvery: 0.01,
+		Mechanism: &mechanism.WQLinear{Threads: 24, Mmax: 8, Mmin: 1, Qmax: 14},
+		OuterK:    3, InnerM: 8,
+	})
+	seq9 := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 0.9, Seed: 13, OuterK: 24, InnerM: 1})
+	par9 := sim.RunServer(tr, sim.ServerConfig{Tasks: tasks, LoadFactor: 0.9, Seed: 13, OuterK: 3, InnerM: 8})
+	check("WQ-Linear response at load 0.9 vs both statics", "better than both",
+		fmt.Sprintf("%s vs %s/%s ms", ms(wql.MeanResponse), ms(seq9.MeanResponse), ms(par9.MeanResponse)),
+		wql.MeanResponse < seq9.MeanResponse && wql.MeanResponse < par9.MeanResponse)
+
+	// 5. Figure 15: OS-scheduling ratios and the TBF geomean.
+	bTasks := tasksAt(scale, 3000)
+	runPipe := func(m *sim.PipelineModel, cfg sim.PipelineConfig) float64 {
+		cfg.Tasks = bTasks
+		return sim.RunPipeline(m, cfg).SteadyThroughput
+	}
+	fe := sim.Ferret()
+	de := sim.Dedup()
+	feBase := runPipe(fe, sim.PipelineConfig{Extents: []int{1, 5, 5, 5, 6, 1}})
+	feOS := runPipe(fe, sim.PipelineConfig{Extents: []int{1, 5, 5, 5, 6, 1}, Oversubscribed: true})
+	deBase := runPipe(de, sim.PipelineConfig{Extents: []int{1, 10, 11, 1}})
+	deOS := runPipe(de, sim.PipelineConfig{Extents: []int{1, 10, 11, 1}, Oversubscribed: true})
+	check("ferret Pthreads-OS over baseline", "2.12x", fx(feOS/feBase),
+		feOS/feBase > 1.5 && feOS/feBase < 3.0)
+	check("dedup Pthreads-OS over baseline", "0.89x", fx(deOS/deBase), deOS < deBase)
+
+	feTBF := runPipe(fe, sim.PipelineConfig{ControlEvery: 0.02,
+		Mechanism: &mechanism.TBF{Threads: 24}, Extents: []int{1, 1, 1, 1, 1, 1}})
+	deTBF := runPipe(de, sim.PipelineConfig{ControlEvery: 0.02,
+		Mechanism: &mechanism.TBF{Threads: 24}, Extents: []int{1, 1, 1, 1}})
+	geomean := math.Sqrt((feTBF / feBase) * (deTBF / deBase))
+	check("DoPE-TBF geomean gain over baselines", "2.36x (136%)", fx(geomean),
+		geomean > 1.8 && geomean < 3.2)
+
+	// 6. Figure 14: TPC holds the power budget.
+	budget := 0.9 * 800.0
+	tpc := sim.RunPipeline(fe, sim.PipelineConfig{
+		Tasks: bTasks, Mechanism: &mechanism.TPC{Threads: 24, Budget: budget},
+		Extents: []int{1, 1, 1, 1, 1, 1}, ControlEvery: 0.02,
+		PowerBudget: budget, PDUPeriod: 0.05,
+	})
+	check("TPC mean power vs 720 W budget", "held", fmt.Sprintf("%.0f W", tpc.MeanPower),
+		tpc.MeanPower <= budget*1.02 && tpc.SteadyThroughput > 0)
+
+	return t
+}

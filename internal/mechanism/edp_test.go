@@ -1,0 +1,97 @@
+package mechanism
+
+import (
+	"testing"
+
+	"dope/internal/core"
+	"dope/internal/platform"
+)
+
+// edpReport fabricates a report whose power grows with total extent, so
+// the energy-delay optimum sits strictly inside the extent range.
+func edpReport(extents []int, exec []float64, watts func(total int) float64) *core.Report {
+	rep := pipelineReport(24, exec, extents, nil)
+	total := 0
+	for _, e := range extents {
+		total += e
+	}
+	feat := platform.NewFeatures()
+	feat.Register(platform.FeatureSystemPower, func() float64 { return watts(total) })
+	rep.Features = feat
+	return rep
+}
+
+func TestEDPGrowsWhileObjectiveImproves(t *testing.T) {
+	m := &EDP{Threads: 24, SettleTicks: 1}
+	exec := []float64{0.0001, 0.004, 0.004, 0.004, 0.004, 0.0001}
+	watts := func(total int) float64 { return 600 + 8*float64(total) }
+	extents := []int{1, 1, 1, 1, 1, 1}
+	grew := false
+	for step := 0; step < 30; step++ {
+		cfg := m.Reconfigure(edpReport(extents, exec, watts))
+		if cfg != nil {
+			if sumExtents(cfg.Extents) > sumExtents(extents) {
+				grew = true
+			}
+			copy(extents, cfg.Extents)
+		}
+	}
+	if !grew {
+		t.Fatal("EDP never grew from all-ones")
+	}
+}
+
+func TestEDPStopsBelowFullWidthWhenPowerIsSteep(t *testing.T) {
+	m := &EDP{Threads: 24, SettleTicks: 0}
+	// Strongly saturating throughput (per-stage exec inflated as extents
+	// grow is not modeled here, so emulate via steep superlinear power).
+	exec := []float64{0.0001, 0.004, 0.004, 0.004, 0.004, 0.0001}
+	watts := func(total int) float64 {
+		f := float64(total)
+		return 100 + f*f*f // cubic: rate² (~total²) / power (~total³) falls
+	}
+	extents := []int{1, 2, 2, 2, 2, 1}
+	for step := 0; step < 60; step++ {
+		cfg := m.Reconfigure(edpReport(extents, exec, watts))
+		if cfg != nil {
+			copy(extents, cfg.Extents)
+		}
+	}
+	if sumExtents(extents) >= 24 {
+		t.Fatalf("EDP should not run to full width under cubic power: %v", extents)
+	}
+}
+
+func TestEDPWithoutPowerBehavesLikeThroughput(t *testing.T) {
+	m := &EDP{Threads: 12, SettleTicks: 0}
+	exec := []float64{0.0001, 0.004, 0.004, 0.004, 0.004, 0.0001}
+	extents := []int{1, 1, 1, 1, 1, 1}
+	for step := 0; step < 60; step++ {
+		rep := pipelineReport(12, exec, extents, nil)
+		cfg := m.Reconfigure(rep)
+		if cfg != nil {
+			copy(extents, cfg.Extents)
+		}
+	}
+	if sumExtents(extents) < 10 {
+		t.Fatalf("without power EDP should approach the budget: %v", extents)
+	}
+}
+
+func TestEDPHoldsWithFewSamples(t *testing.T) {
+	m := &EDP{Threads: 24}
+	rep := pipelineReport(24, []float64{0.001, 0.004, 0.004, 0.004, 0.004, 0.001},
+		[]int{1, 1, 1, 1, 1, 1}, nil)
+	for i := range rep.Root.Stages {
+		rep.Root.Stages[i].Iterations = 2
+	}
+	if m.Reconfigure(rep) != nil {
+		t.Fatal("should wait for MinSamples")
+	}
+}
+
+func TestEDPName(t *testing.T) {
+	if (&EDP{}).Name() != "EDP" {
+		t.Fatal("name wrong")
+	}
+}

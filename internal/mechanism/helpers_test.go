@@ -1,0 +1,184 @@
+package mechanism
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dope/internal/core"
+)
+
+// randomStages builds a stage list from fuzz bytes: even bytes SEQ, odd PAR.
+func randomStages(kinds []byte) []core.StageReport {
+	if len(kinds) == 0 {
+		kinds = []byte{1}
+	}
+	if len(kinds) > 12 {
+		kinds = kinds[:12]
+	}
+	out := make([]core.StageReport, len(kinds))
+	for i, k := range kinds {
+		t := core.SEQ
+		if k%2 == 1 {
+			t = core.PAR
+		}
+		out[i] = core.StageReport{Name: string(rune('a' + i)), Type: t}
+	}
+	return out
+}
+
+// Property: distribute gives every stage at least one worker, pins SEQ
+// stages to one, and never exceeds max(budget, #stages).
+func TestDistributeInvariantsProperty(t *testing.T) {
+	f := func(budgetRaw uint8, kinds []byte, weightsRaw []uint8) bool {
+		stages := randomStages(kinds)
+		budget := int(budgetRaw) % 64
+		weights := make([]float64, len(weightsRaw))
+		for i, w := range weightsRaw {
+			weights[i] = float64(w)
+		}
+		got := distribute(budget, stages, weights)
+		if len(got) != len(stages) {
+			return false
+		}
+		total := 0
+		for i, e := range got {
+			if e < 1 {
+				return false
+			}
+			if stages[i].Type == core.SEQ && e != 1 {
+				return false
+			}
+			total += e
+		}
+		limit := budget
+		if len(stages) > limit {
+			limit = len(stages)
+		}
+		return total <= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when the budget covers every stage, distribute uses it exactly
+// (no workers silently dropped) unless MaxDoP caps bind.
+func TestDistributeExactUseProperty(t *testing.T) {
+	f := func(extraRaw uint8, kinds []byte) bool {
+		stages := randomStages(kinds)
+		hasPar := false
+		for _, st := range stages {
+			if st.Type == core.PAR {
+				hasPar = true
+			}
+		}
+		budget := len(stages) + int(extraRaw)%32
+		got := distribute(budget, stages, nil)
+		total := 0
+		for _, e := range got {
+			total += e
+		}
+		if !hasPar {
+			return total == len(stages)
+		}
+		return total == budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clampToSpec is idempotent and respects MaxDoP.
+func TestClampIdempotentProperty(t *testing.T) {
+	f := func(kinds []byte, extentsRaw []int8, maxRaw uint8) bool {
+		stages := randomStages(kinds)
+		maxDoP := int(maxRaw)%8 + 1
+		for i := range stages {
+			if stages[i].Type == core.PAR {
+				stages[i].MaxDoP = maxDoP
+			}
+		}
+		extents := make([]int, len(stages))
+		for i := range extents {
+			if i < len(extentsRaw) {
+				extents[i] = int(extentsRaw[i])
+			}
+		}
+		once := clampToSpec(append([]int(nil), extents...), stages)
+		twice := clampToSpec(append([]int(nil), once...), stages)
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+			if once[i] < 1 {
+				return false
+			}
+			if stages[i].Type == core.PAR && once[i] > maxDoP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: maxAbsDiff is symmetric and zero only for equal vectors.
+func TestMaxAbsDiffProperty(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ai := make([]int, len(a))
+		bi := make([]int, len(b))
+		for i, v := range a {
+			ai[i] = int(v)
+		}
+		for i, v := range b {
+			bi[i] = int(v)
+		}
+		d1, d2 := maxAbsDiff(ai, bi), maxAbsDiff(bi, ai)
+		if d1 != d2 {
+			return false
+		}
+		if len(ai) == len(bi) {
+			equal := true
+			for i := range ai {
+				if ai[i] != bi[i] {
+					equal = false
+				}
+			}
+			if equal != (d1 == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LoadProportional never exceeds its budget and keeps SEQ
+// stages at one worker, whatever the loads.
+func TestLoadProportionalBudgetProperty(t *testing.T) {
+	f := func(loadsRaw []uint8) bool {
+		exec := []float64{0.001, 0.002, 0.002, 0.002, 0.002, 0.001}
+		loads := make([]float64, 6)
+		for i := 0; i < 6 && i < len(loadsRaw); i++ {
+			loads[i] = float64(loadsRaw[i])
+		}
+		rep := pipelineReport(24, exec, []int{1, 1, 1, 1, 1, 1}, loads)
+		m := &LoadProportional{Threads: 24}
+		cfg := m.Reconfigure(rep)
+		if cfg == nil {
+			return true
+		}
+		total := 0
+		for _, e := range cfg.Extents {
+			total += e
+		}
+		return total <= 24 && cfg.Extents[0] == 1 && cfg.Extents[5] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package mechanism
+
+import (
+	"testing"
+
+	"dope/internal/core"
+)
+
+// nestedPipelineReport wraps pipelineReport's ferret-like pipeline one
+// level down: root "app" has a single PAR stage delegating to the pipeline,
+// so Path-scoped mechanisms must navigate "app/ferret".
+func nestedPipelineReport(exec []float64, extents []int) *core.Report {
+	inner := pipelineReport(24, exec, extents, nil)
+	innerSpec := inner.Root.Spec
+	root := &core.NestSpec{Name: "app", Alts: []*core.AltSpec{{
+		Name:   "outer",
+		Stages: []core.StageSpec{{Name: "serve", Type: core.PAR, Nest: innerSpec}},
+		Make:   noopMake,
+	}}}
+	cfg := core.DefaultConfig(root)
+	innerCfg := cfg.Child("ferret")
+	innerCfg.Alt = 0
+	copy(innerCfg.Extents, extents)
+	inner.Root.Path = "app/ferret"
+	return &core.Report{
+		Contexts: 24,
+		Features: inner.Features,
+		Config:   cfg,
+		Root: &core.NestReport{
+			Name: "app", Path: "app", Spec: root, AltIndex: 0, AltName: "outer",
+			Stages: []core.StageReport{{
+				Name: "serve", Type: core.PAR, HasNest: true, Extent: 1,
+				Iterations: 100, ExecTime: 0.01, MeanExecTime: 0.01,
+			}},
+			Children: map[string]*core.NestReport{"ferret": inner.Root},
+		},
+	}
+}
+
+func TestTBFPathScopedTargetsInnerNest(t *testing.T) {
+	exec := []float64{0.001, 0.004, 0.004, 0.004, 0.004, 0.001}
+	rep := nestedPipelineReport(exec, []int{1, 1, 1, 1, 1, 1})
+	m := &TBF{Threads: 16, Path: "app/ferret", DisableFusion: true}
+	cfg := m.Reconfigure(rep)
+	if cfg == nil {
+		t.Fatal("nil config")
+	}
+	// The ROOT extents must be untouched; the child must be rebalanced.
+	if cfg.Extents[0] != 1 {
+		t.Fatalf("root touched: %v", cfg.Extents)
+	}
+	child := cfg.Child("ferret")
+	if child == nil || sumExtents(child.Extents) <= 6 {
+		t.Fatalf("inner nest not rebalanced: %v", child)
+	}
+}
+
+func TestFDPPathScoped(t *testing.T) {
+	exec := []float64{0.001, 0.008, 0.002, 0.002, 0.002, 0.001}
+	rep := nestedPipelineReport(exec, []int{1, 1, 1, 1, 1, 1})
+	m := &FDP{Threads: 12, Path: "app/ferret"}
+	cfg := m.Reconfigure(rep)
+	if cfg == nil {
+		t.Fatal("nil config")
+	}
+	child := cfg.Child("ferret")
+	if child == nil || child.Extents[1] != 2 {
+		t.Fatalf("bottleneck of inner nest not grown: %v", child)
+	}
+}
+
+func TestPathScopedUnknownPathHolds(t *testing.T) {
+	exec := []float64{0.001, 0.004, 0.004, 0.004, 0.004, 0.001}
+	rep := nestedPipelineReport(exec, []int{1, 1, 1, 1, 1, 1})
+	for _, m := range []core.Mechanism{
+		&TBF{Threads: 16, Path: "app/zzz"},
+		&FDP{Threads: 16, Path: "zzz"},
+		&SEDA{Path: "app/zzz"},
+		&LoadProportional{Threads: 16, Path: "nope/nope"},
+		&TPC{Threads: 16, Path: "app/zzz"},
+		&EDP{Threads: 16, Path: "app/zzz"},
+	} {
+		if cfg := m.Reconfigure(rep); cfg != nil {
+			t.Fatalf("%s acted on a bogus path: %v", m.Name(), cfg)
+		}
+	}
+}
+
+func TestChildConfigAtMaterializesNodes(t *testing.T) {
+	exec := []float64{0.001, 0.004, 0.004, 0.004, 0.004, 0.001}
+	rep := nestedPipelineReport(exec, []int{1, 1, 1, 1, 1, 1})
+	// Strip the child config so the walker must materialize it.
+	rep.Config.Children = nil
+	target := childConfigAt(rep.Config, rep.Root, rep.Root.Children["ferret"])
+	if target == nil {
+		t.Fatal("nil target")
+	}
+	target.Extents = []int{9}
+	if rep.Config.Child("ferret") == nil || rep.Config.Child("ferret").Extents[0] != 9 {
+		t.Fatal("materialized node not linked into the tree")
+	}
+}

@@ -1,0 +1,180 @@
+package mechanism
+
+import (
+	"dope/internal/core"
+)
+
+// TBF is the Throughput Balance with Fusion mechanism (§7.2) for the goal
+// "maximize throughput with N threads". It records a moving average of each
+// task's throughput (the monitor's smoothed execution time is its inverse)
+// and assigns each task a DoP extent inversely proportional to that
+// throughput — i.e. proportional to its execution time — so slow stages get
+// more workers.
+//
+// If the imbalance across stage capacities remains above FusionThreshold
+// even under the balanced assignment, the pipeline is too skewed for
+// pipeline parallelism to pay off, and TBF switches the nest to its fused
+// alternative (the developer-registered fused task, chosen through the
+// TaskDescriptor's choice of ParDescriptors).
+type TBF struct {
+	// Threads is the hardware-thread budget N.
+	Threads int
+	// Path selects the nest to balance ("app" or "app/video"); empty means
+	// the root nest.
+	Path string
+	// FusionThreshold is the capacity imbalance beyond which the fused
+	// alternative is selected; the paper sets 0.5. Zero defaults to 0.5.
+	FusionThreshold float64
+	// DisableFusion turns TBF into the paper's DoPE-TB baseline.
+	DisableFusion bool
+	// MinSamples is how many iterations each stage must have before the
+	// mechanism acts (defaults to 8); acting on noise destabilizes the
+	// pipeline.
+	MinSamples uint64
+}
+
+// Name implements core.Mechanism.
+func (m *TBF) Name() string {
+	if m.DisableFusion {
+		return "TB"
+	}
+	return "TBF"
+}
+
+// Reconfigure implements core.Mechanism.
+func (m *TBF) Reconfigure(r *core.Report) *core.Config {
+	nest := r.Root
+	if m.Path != "" {
+		nest = r.Nest(m.Path)
+	}
+	if nest == nil {
+		return nil
+	}
+	minSamples := m.MinSamples
+	if minSamples == 0 {
+		minSamples = 8
+	}
+	for _, st := range nest.Stages {
+		if st.Iterations < minSamples {
+			return nil // not enough signal yet
+		}
+	}
+	threads := m.Threads
+	if threads <= 0 {
+		threads = r.Contexts
+	}
+	cfg := r.Config
+	target := cfg
+	if m.Path != "" && nest != r.Root {
+		target = childConfigAt(cfg, r.Root, nest)
+		if target == nil {
+			return nil
+		}
+	}
+
+	weights := execWeights(nest.Stages)
+	extents := distribute(threads, nest.Stages, weights)
+
+	if !m.DisableFusion && len(nest.Spec.Alts) > 1 {
+		if m.imbalance(nest.Stages, extents, weights) > m.threshold() {
+			fused := seqAltIndex(nest.Spec)
+			if fused != nest.AltIndex {
+				target.Alt = fused
+				fstages := stageReportsFor(nest.Spec.Alts[fused])
+				target.Extents = distribute(threads, fstages, nil)
+				return cfg
+			}
+		}
+	}
+	// Damping: measured execution times feed back through the assignment
+	// (wider stages report more coordination overhead), so proposals can
+	// flap by one worker between adjacent balances. Suspending the
+	// top-level tasks for a ±1 shuffle costs more than it buys; only act
+	// on a materially different assignment.
+	if maxAbsDiff(extents, currentExtents(nest)) < 2 {
+		return nil
+	}
+	target.Alt = nest.AltIndex
+	target.Extents = extents
+	return cfg
+}
+
+// maxAbsDiff returns the largest per-index absolute difference; length
+// mismatches count as a material change.
+func maxAbsDiff(a, b []int) int {
+	if len(a) != len(b) {
+		return 1 << 30
+	}
+	m := 0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (m *TBF) threshold() float64 {
+	if m.FusionThreshold > 0 {
+		return m.FusionThreshold
+	}
+	return 0.5
+}
+
+// imbalance measures how uneven the per-stage capacities remain after the
+// proposed assignment: 1 - min(capacity)/max(capacity), where capacity is
+// extent/execTime. A perfectly balanced pipeline scores 0; a pipeline whose
+// slowest stage cannot be helped (e.g. a SEQ bottleneck) scores near 1.
+func (m *TBF) imbalance(stages []core.StageReport, extents []int, weights []float64) float64 {
+	minC, maxC := -1.0, -1.0
+	for i := range stages {
+		t := weights[i]
+		if t <= 0 {
+			continue
+		}
+		c := float64(extents[i]) / t
+		if minC < 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC <= 0 {
+		return 0
+	}
+	return 1 - minC/maxC
+}
+
+// childConfigAt walks the config tree along the report path from root to
+// nest, materializing nodes as needed, and returns the config node for
+// nest.
+func childConfigAt(cfg *core.Config, root, nest *core.NestReport) *core.Config {
+	// Paths are slash-joined with the root name first.
+	if len(nest.Path) <= len(root.Path) {
+		return cfg
+	}
+	rel := nest.Path[len(root.Path)+1:]
+	cur := cfg
+	for {
+		i := 0
+		for i < len(rel) && rel[i] != '/' {
+			i++
+		}
+		name := rel[:i]
+		next := cur.Child(name)
+		if next == nil {
+			next = &core.Config{}
+			cur.SetChild(name, next)
+		}
+		cur = next
+		if i == len(rel) {
+			return cur
+		}
+		rel = rel[i+1:]
+	}
+}

@@ -1,0 +1,267 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"dope/internal/core"
+	"dope/internal/platform"
+)
+
+// TPC is the Throughput-Power Controller (§7.3) for the goal "maximize
+// throughput with N threads and P watts". It is a closed-loop controller
+// over the SystemPower platform feature (sampled through the rate-limited
+// PDU):
+//
+//  1. Ramp: start every task at extent 1 and repeatedly grant one worker to
+//     the least-throughput task while the power budget holds and throughput
+//     improves — the ramp phase visible in Figure 14.
+//  2. On overshoot: retreat to the previous extent total and explore
+//     alternative configurations with the same total extent, consulting the
+//     recorded history of configuration → throughput.
+//  3. Stable: hold the best configuration found, monitoring continuously;
+//     a power or throughput transient re-triggers exploration.
+type TPC struct {
+	// Threads is the hardware-thread budget N.
+	Threads int
+	// Budget is the power target in watts.
+	Budget float64
+	// Path selects the nest to control; empty means the root nest.
+	Path string
+	// MinSamples gates acting before monitors have signal (default 8).
+	MinSamples uint64
+	// ExploreSteps is how many same-total permutations to try after the
+	// budget first binds (default 4).
+	ExploreSteps int
+	// SettleTicks is how many control ticks to wait after each change
+	// before judging its effect, letting the monitors' moving averages
+	// catch up with the new configuration (default 3).
+	SettleTicks int
+	// RateTolerance is the relative throughput drop treated as noise when
+	// deciding whether a ramp step helped (default 0.02).
+	RateTolerance float64
+
+	phase        tpcPhase
+	history      map[string]float64 // config signature -> observed rate
+	lastSig      string
+	lastExtents  []int
+	bestSig      string
+	bestRate     float64
+	bestExtents  []int
+	explored     int
+	rampPending  bool
+	rampLastRate float64
+	rampFlats    int
+	settle       int
+}
+
+type tpcPhase int
+
+const (
+	tpcRamp tpcPhase = iota
+	tpcExplore
+	tpcStable
+)
+
+// Name implements core.Mechanism.
+func (m *TPC) Name() string { return "TPC" }
+
+// Phase returns a human-readable controller phase for traces.
+func (m *TPC) Phase() string {
+	switch m.phase {
+	case tpcRamp:
+		return "ramp"
+	case tpcExplore:
+		return "explore"
+	default:
+		return "stable"
+	}
+}
+
+// Reconfigure implements core.Mechanism.
+func (m *TPC) Reconfigure(r *core.Report) *core.Config {
+	nest := r.Root
+	if m.Path != "" {
+		nest = r.Nest(m.Path)
+	}
+	if nest == nil {
+		return nil
+	}
+	minSamples := m.MinSamples
+	if minSamples == 0 {
+		minSamples = 8
+	}
+	for _, st := range nest.Stages {
+		if st.Iterations < minSamples {
+			return nil
+		}
+	}
+	if m.settle > 0 {
+		// A change was just applied; let the monitors settle before
+		// judging it or proposing another.
+		m.settle--
+		return nil
+	}
+	if m.history == nil {
+		m.history = make(map[string]float64)
+	}
+	power, err := r.Features.Value(platform.FeatureSystemPower)
+	if err != nil {
+		power = 0 // no power feature registered: behave as unconstrained
+	}
+	threads := m.Threads
+	if threads <= 0 {
+		threads = r.Contexts
+	}
+	rate := pipelineRate(nest.Stages)
+	cur := currentExtents(nest)
+	sig := extentSig(cur)
+	m.history[sig] = rate
+	if rate > m.bestRate && (m.Budget <= 0 || power <= m.Budget) {
+		m.bestRate = rate
+		m.bestSig = sig
+		m.bestExtents = append([]int(nil), cur...)
+	}
+
+	cfg := r.Config
+	target := cfg
+	if m.Path != "" && nest != r.Root {
+		target = childConfigAt(cfg, r.Root, nest)
+		if target == nil {
+			return nil
+		}
+	}
+
+	overBudget := m.Budget > 0 && power > m.Budget
+	var next []int
+	switch m.phase {
+	case tpcRamp:
+		switch {
+		case overBudget:
+			// Retreat one step and start exploring at the reduced total.
+			next = m.retreat(nest.Stages, cur)
+			m.phase = tpcExplore
+			m.explored = 0
+		case m.rampPending && rate < m.rampLastRate*(1-m.rateTolerance()):
+			// The last grant regressed throughput (§7.3: increment "if
+			// throughput improves"): stop ramping, start exploring.
+			m.rampPending = false
+			m.phase = tpcExplore
+			m.explored = 0
+		case m.rampPending && rate < m.rampLastRate*(1+m.rateTolerance()) && m.rampFlats >= 1:
+			// Two consecutive grants bought nothing beyond noise: the ramp
+			// has topped out.
+			m.rampPending = false
+			m.phase = tpcExplore
+			m.explored = 0
+		default:
+			if m.rampPending && rate < m.rampLastRate*(1+m.rateTolerance()) {
+				m.rampFlats++
+			} else {
+				m.rampFlats = 0
+			}
+			fdp := &FDP{Threads: threads}
+			next = fdp.step(nest.Stages, cur, threads)
+			if next == nil {
+				m.phase = tpcExplore
+				m.explored = 0
+			} else {
+				m.rampPending = true
+				m.rampLastRate = rate
+			}
+		}
+	case tpcExplore:
+		steps := m.ExploreSteps
+		if steps <= 0 {
+			steps = 4
+		}
+		if overBudget {
+			next = m.retreat(nest.Stages, cur)
+		} else if m.explored < steps {
+			m.explored++
+			next = m.permute(nest.Stages, cur)
+		} else {
+			m.phase = tpcStable
+			if m.bestExtents != nil && extentSig(m.bestExtents) != sig {
+				next = append([]int(nil), m.bestExtents...)
+			}
+		}
+	case tpcStable:
+		if overBudget {
+			next = m.retreat(nest.Stages, cur)
+			m.phase = tpcExplore
+			m.explored = 0
+		}
+	}
+	if next == nil {
+		return nil
+	}
+	m.lastSig = sig
+	m.lastExtents = cur
+	m.settle = m.settleTicks()
+	target.Alt = nest.AltIndex
+	target.Extents = clampToSpec(next, nest.Stages)
+	return cfg
+}
+
+func (m *TPC) settleTicks() int {
+	if m.SettleTicks > 0 {
+		return m.SettleTicks
+	}
+	return 3
+}
+
+func (m *TPC) rateTolerance() float64 {
+	if m.RateTolerance > 0 {
+		return m.RateTolerance
+	}
+	return 0.02
+}
+
+// retreat removes one worker from the most over-provisioned PAR stage.
+func (m *TPC) retreat(stages []core.StageReport, cur []int) []int {
+	weights := execWeights(stages)
+	fast, bestC := -1, -1.0
+	for i, st := range stages {
+		if st.Type != core.PAR || cur[i] <= 1 {
+			continue
+		}
+		c := float64(cur[i])
+		if weights[i] > 0 {
+			c = float64(cur[i]) / weights[i]
+		}
+		if c > bestC {
+			fast, bestC = i, c
+		}
+	}
+	if fast < 0 {
+		return nil
+	}
+	next := append([]int(nil), cur...)
+	next[fast]--
+	return next
+}
+
+// permute proposes an unexplored configuration with the same total extent
+// by moving one worker from the fastest to the slowest stage; falls back to
+// nil when every neighbor is already in the history.
+func (m *TPC) permute(stages []core.StageReport, cur []int) []int {
+	weights := execWeights(stages)
+	slow := bottleneck(stages, cur, weights)
+	if slow < 0 {
+		return nil
+	}
+	for i, st := range stages {
+		if i == slow || st.Type != core.PAR || cur[i] <= 1 {
+			continue
+		}
+		next := append([]int(nil), cur...)
+		next[i]--
+		next[slow]++
+		if _, seen := m.history[extentSig(next)]; !seen {
+			return next
+		}
+	}
+	return nil
+}
+
+func extentSig(e []int) string { return fmt.Sprint(e) }

@@ -1,0 +1,197 @@
+// Package monitor aggregates the application features DoPE observes while a
+// program runs: per-task execution time (measured between Task.Begin and
+// Task.End), per-task throughput, iteration counts, and the load reported by
+// each task's LoadCB. Mechanisms consume these aggregates through the query
+// API of core.Report (the paper's DoPE::getExecTime / DoPE::getLoad).
+//
+// Stage instances come and go (an inner pipeline lives only as long as its
+// parent's current work item), so the monitor separates durable per-stage
+// aggregates, keyed by "nest/stage", from a registry of live LoadCB
+// callbacks that is polled on demand.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"dope/internal/stats"
+)
+
+// Key identifies a stage across instantiations.
+type Key struct {
+	Nest  string
+	Stage string
+}
+
+// StageStats is the durable aggregate for one stage.
+type StageStats struct {
+	mu         sync.Mutex
+	execTime   *stats.EWMA // seconds per iteration, CPU section only
+	iterations uint64
+	completed  uint64 // instances that ran to Finished
+	lastAt     time.Time
+	rate       *stats.EWMA // iterations/sec from inter-completion gaps
+	execSum    float64
+}
+
+func newStageStats(alpha float64) *StageStats {
+	return &StageStats{
+		execTime: stats.NewEWMA(alpha),
+		rate:     stats.NewEWMA(alpha),
+	}
+}
+
+// ObserveIteration records one Begin..End section of d at time now.
+func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec := d.Seconds()
+	s.execTime.Observe(sec)
+	s.execSum += sec
+	s.iterations++
+	if !s.lastAt.IsZero() {
+		gap := now.Sub(s.lastAt).Seconds()
+		if gap > 0 {
+			s.rate.Observe(1 / gap)
+		}
+	}
+	s.lastAt = now
+}
+
+// ObserveInstanceDone records that one instance of the stage finished.
+func (s *StageStats) ObserveInstanceDone() {
+	s.mu.Lock()
+	s.completed++
+	s.mu.Unlock()
+}
+
+// ExecTime returns the smoothed per-iteration CPU time in seconds.
+func (s *StageStats) ExecTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execTime.Value()
+}
+
+// MeanExecTime returns the lifetime mean per-iteration CPU time in seconds.
+func (s *StageStats) MeanExecTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.iterations == 0 {
+		return 0
+	}
+	return s.execSum / float64(s.iterations)
+}
+
+// Rate returns the smoothed iteration completion rate (iterations/sec,
+// summed over all concurrent instances of the stage).
+func (s *StageStats) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rate.Value()
+}
+
+// Iterations returns the total number of observed iterations.
+func (s *StageStats) Iterations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.iterations
+}
+
+// Completed returns how many stage instances have finished.
+func (s *StageStats) Completed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// Registry is the process-wide monitor. Safe for concurrent use.
+type Registry struct {
+	alpha float64
+
+	mu     sync.Mutex
+	stages map[Key]*StageStats
+	loads  map[Key]map[int64]func() float64 // live LoadCBs by instance id
+	nextID int64
+}
+
+// NewRegistry returns a registry whose EWMAs use the given alpha.
+func NewRegistry(alpha float64) *Registry {
+	return &Registry{
+		alpha:  alpha,
+		stages: make(map[Key]*StageStats),
+		loads:  make(map[Key]map[int64]func() float64),
+	}
+}
+
+// Stage returns (creating if needed) the aggregate for key.
+func (r *Registry) Stage(key Key) *StageStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.stages[key]
+	if !ok {
+		s = newStageStats(r.alpha)
+		r.stages[key] = s
+	}
+	return s
+}
+
+// RegisterLoad registers a live LoadCB for key and returns a handle to
+// unregister it when the instance ends. A nil cb registers nothing and
+// returns a no-op release.
+func (r *Registry) RegisterLoad(key Key, cb func() float64) (release func()) {
+	if cb == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	m, ok := r.loads[key]
+	if !ok {
+		m = make(map[int64]func() float64)
+		r.loads[key] = m
+	}
+	m[id] = cb
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		if m, ok := r.loads[key]; ok {
+			delete(m, id)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Load polls all live LoadCBs for key and returns their sum (total items
+// waiting for the stage) and how many instances reported.
+func (r *Registry) Load(key Key) (total float64, instances int) {
+	r.mu.Lock()
+	cbs := make([]func() float64, 0, 4)
+	for _, cb := range r.loads[key] {
+		cbs = append(cbs, cb)
+	}
+	r.mu.Unlock()
+	for _, cb := range cbs {
+		total += cb()
+	}
+	return total, len(cbs)
+}
+
+// Keys returns all stage keys ever observed, in unspecified order.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Key, 0, len(r.stages))
+	for k := range r.stages {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Reset clears all aggregates and live load registrations; used between
+// experiment runs that share a runtime.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stages = make(map[Key]*StageStats)
+	r.loads = make(map[Key]map[int64]func() float64)
+}

@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var key = Key{Nest: "video", Stage: "transform"}
+
+func TestStageStatsExecTime(t *testing.T) {
+	r := NewRegistry(0.5)
+	s := r.Stage(key)
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		s.ObserveIteration(10*time.Millisecond, now)
+		now = now.Add(10 * time.Millisecond)
+	}
+	if got := s.ExecTime(); math.Abs(got-0.010) > 1e-6 {
+		t.Fatalf("exec time = %v, want 0.010", got)
+	}
+	if got := s.MeanExecTime(); math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("mean exec time = %v", got)
+	}
+	if s.Iterations() != 20 {
+		t.Fatalf("iterations = %d", s.Iterations())
+	}
+	// One iteration per 10ms => 100/sec.
+	if got := s.Rate(); math.Abs(got-100) > 1 {
+		t.Fatalf("rate = %v, want ~100", got)
+	}
+}
+
+func TestStageIdentity(t *testing.T) {
+	r := NewRegistry(0.2)
+	a := r.Stage(key)
+	b := r.Stage(key)
+	if a != b {
+		t.Fatal("same key must return same aggregate")
+	}
+	c := r.Stage(Key{Nest: "video", Stage: "read"})
+	if a == c {
+		t.Fatal("different keys must not share aggregates")
+	}
+}
+
+func TestInstanceCompletion(t *testing.T) {
+	r := NewRegistry(0.2)
+	s := r.Stage(key)
+	s.ObserveInstanceDone()
+	s.ObserveInstanceDone()
+	if s.Completed() != 2 {
+		t.Fatalf("completed = %d", s.Completed())
+	}
+}
+
+func TestLoadRegistry(t *testing.T) {
+	r := NewRegistry(0.2)
+	total, n := r.Load(key)
+	if total != 0 || n != 0 {
+		t.Fatal("no registered loads should report zero")
+	}
+	rel1 := r.RegisterLoad(key, func() float64 { return 3 })
+	rel2 := r.RegisterLoad(key, func() float64 { return 4 })
+	total, n = r.Load(key)
+	if total != 7 || n != 2 {
+		t.Fatalf("load = %v from %d instances", total, n)
+	}
+	rel1()
+	total, n = r.Load(key)
+	if total != 4 || n != 1 {
+		t.Fatalf("after release load = %v from %d", total, n)
+	}
+	rel2()
+	rel2() // double release is harmless
+	if _, n := r.Load(key); n != 0 {
+		t.Fatal("all releases should empty the registry")
+	}
+}
+
+func TestRegisterNilLoad(t *testing.T) {
+	r := NewRegistry(0.2)
+	release := r.RegisterLoad(key, nil)
+	release() // no-op must not panic
+	if _, n := r.Load(key); n != 0 {
+		t.Fatal("nil load should not register")
+	}
+}
+
+func TestKeysAndReset(t *testing.T) {
+	r := NewRegistry(0.2)
+	r.Stage(Key{Nest: "a", Stage: "x"})
+	r.Stage(Key{Nest: "a", Stage: "y"})
+	if got := len(r.Keys()); got != 2 {
+		t.Fatalf("keys = %d", got)
+	}
+	r.Reset()
+	if got := len(r.Keys()); got != 0 {
+		t.Fatalf("keys after reset = %d", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(0.2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := Key{Nest: "n", Stage: "s"}
+			for j := 0; j < 200; j++ {
+				r.Stage(k).ObserveIteration(time.Millisecond, time.Unix(int64(j), 0))
+				rel := r.RegisterLoad(k, func() float64 { return 1 })
+				r.Load(k)
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Stage(Key{Nest: "n", Stage: "s"}).Iterations() != 1600 {
+		t.Fatalf("iterations = %d", r.Stage(Key{Nest: "n", Stage: "s"}).Iterations())
+	}
+}

@@ -1,0 +1,79 @@
+// Package platform models the parallel platform underneath DoPE: hardware
+// execution contexts, a feature registry for platform monitoring, and a
+// clock abstraction.
+//
+// The paper evaluates on a 24-core Intel Xeon X7460. We do not have that
+// machine; instead a Contexts token pool caps how many task instances may be
+// inside their CPU-intensive sections (between Task.Begin and Task.End)
+// simultaneously, which is exactly the resource the paper's DoP extents
+// ration. Goroutines stand in for Pthreads; the Go scheduler plays the role
+// of the OS scheduler in the "Pthreads-OS" baseline.
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so that the runtime and the discrete-event simulator
+// can share monitoring code. Real code uses WallClock; tests and the
+// simulator use a VirtualClock they advance explicitly.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// WallClock is the process's real monotonic clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (WallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// VirtualClock is a manually advanced clock for deterministic tests and the
+// discrete-event simulator. It is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since implements Clock.
+func (c *VirtualClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Advance moves the clock forward by d. Negative d is ignored; virtual time
+// never runs backwards.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Contexts models a fixed set of hardware execution contexts (the paper's
+// "hardware threads"). A task instance acquires one context for the duration
+// of its CPU-intensive section; when all contexts are busy further acquires
+// block, which is the oversubscription the Pthreads-OS baseline suffers and
+// DoPE's DoP budgeting avoids.
+//
+// Acquire/Release are also usable in a non-blocking mode (TryAcquire) so the
+// scheduler can detect saturation without stalling.
+type Contexts struct {
+	n      int
+	tokens chan struct{}
+	busy   atomic.Int64
+	peak   atomic.Int64
+
+	mu          sync.Mutex
+	busyIntSum  float64 // integral of busy over acquire count, for utilization
+	acquires    uint64
+	releases    uint64
+	waitBlocked atomic.Int64 // acquirers currently blocked
+}
+
+// NewContexts returns a pool of n hardware contexts. n < 1 is treated as 1.
+func NewContexts(n int) *Contexts {
+	if n < 1 {
+		n = 1
+	}
+	c := &Contexts{n: n, tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		c.tokens <- struct{}{}
+	}
+	return c
+}
+
+// N returns the number of hardware contexts.
+func (c *Contexts) N() int { return c.n }
+
+// Acquire blocks until a context is free and claims it.
+func (c *Contexts) Acquire() {
+	c.waitBlocked.Add(1)
+	<-c.tokens
+	c.waitBlocked.Add(-1)
+	c.noteAcquire()
+}
+
+// TryAcquire claims a context if one is free and reports whether it did.
+func (c *Contexts) TryAcquire() bool {
+	select {
+	case <-c.tokens:
+		c.noteAcquire()
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Contexts) noteAcquire() {
+	b := c.busy.Add(1)
+	for {
+		p := c.peak.Load()
+		if b <= p || c.peak.CompareAndSwap(p, b) {
+			break
+		}
+	}
+	c.mu.Lock()
+	c.acquires++
+	c.busyIntSum += float64(b)
+	c.mu.Unlock()
+}
+
+// Release returns a context to the pool. Releasing more than was acquired
+// panics: that is a scheduler bug, not a recoverable condition.
+func (c *Contexts) Release() {
+	if c.busy.Add(-1) < 0 {
+		panic("platform: Release without matching Acquire")
+	}
+	c.mu.Lock()
+	c.releases++
+	c.mu.Unlock()
+	select {
+	case c.tokens <- struct{}{}:
+	default:
+		panic(fmt.Sprintf("platform: context pool overflow (n=%d)", c.n))
+	}
+}
+
+// Busy returns how many contexts are currently claimed.
+func (c *Contexts) Busy() int { return int(c.busy.Load()) }
+
+// Idle returns how many contexts are currently free.
+func (c *Contexts) Idle() int { return c.n - c.Busy() }
+
+// Peak returns the maximum simultaneous occupancy observed.
+func (c *Contexts) Peak() int { return int(c.peak.Load()) }
+
+// Blocked returns how many acquirers are currently waiting for a context; a
+// persistently positive value signals oversubscription.
+func (c *Contexts) Blocked() int { return int(c.waitBlocked.Load()) }
+
+// MeanOccupancy returns the average number of busy contexts sampled at each
+// acquire, an (acquire-weighted) utilization proxy for the monitors.
+func (c *Contexts) MeanOccupancy() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.acquires == 0 {
+		return 0
+	}
+	return c.busyIntSum / float64(c.acquires)
+}
+
+// Acquires returns the total number of successful acquisitions.
+func (c *Contexts) Acquires() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acquires
+}

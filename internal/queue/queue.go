@@ -1,0 +1,206 @@
+// Package queue provides the concurrent FIFO queues that connect DoPE tasks.
+//
+// In the paper, adjacent pipeline stages communicate through work queues and
+// each task's LoadCB reports the occupancy of its in-queue (Figure 7,
+// TranscodeLoadCB et al.). Reconfiguration drains pipelines by propagating a
+// sentinel through these queues (the ReadFiniCB/TransformFiniCB pattern).
+// This package reproduces those semantics:
+//
+//   - blocking Enqueue/Dequeue with optional capacity bound,
+//   - O(1) Len usable as a LoadCB without taking the queue lock contended by
+//     producers and consumers (an atomic occupancy counter),
+//   - Close, which wakes all blocked consumers — the moral equivalent of the
+//     sentinel NULL token, but race-free for multi-consumer stages,
+//   - occupancy statistics (peak, enqueue/dequeue counts) for the monitors.
+package queue
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Enqueue on a closed queue and by Dequeue once a
+// closed queue is fully drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a FIFO of items of type T, safe for any number of concurrent
+// producers and consumers. A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	items    []T
+	capacity int
+	closed   bool
+
+	occupancy atomic.Int64 // mirrors len(items) for lock-free Len
+	enqueued  atomic.Uint64
+	dequeued  atomic.Uint64
+	peak      atomic.Int64
+}
+
+// New returns an empty queue. capacity <= 0 means unbounded.
+func New[T any](capacity int) *Queue[T] {
+	q := &Queue[T]{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends item, blocking while a bounded queue is full. It returns
+// ErrClosed if the queue is or becomes closed while waiting.
+func (q *Queue[T]) Enqueue(item T) error {
+	q.mu.Lock()
+	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.items = append(q.items, item)
+	n := int64(len(q.items))
+	q.occupancy.Store(n)
+	for {
+		p := q.peak.Load()
+		if n <= p || q.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	q.enqueued.Add(1)
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// TryEnqueue appends item without blocking. It reports false when the queue
+// is full, and ErrClosed when closed.
+func (q *Queue[T]) TryEnqueue(item T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return false, nil
+	}
+	q.items = append(q.items, item)
+	n := int64(len(q.items))
+	q.occupancy.Store(n)
+	for {
+		p := q.peak.Load()
+		if n <= p || q.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	q.enqueued.Add(1)
+	q.notEmpty.Signal()
+	return true, nil
+}
+
+// Dequeue removes and returns the oldest item, blocking while the queue is
+// empty. Once the queue is closed and drained it returns ErrClosed.
+func (q *Queue[T]) Dequeue() (T, error) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 { // closed and drained
+		q.mu.Unlock()
+		return zero, ErrClosed
+	}
+	item := q.items[0]
+	q.items[0] = zero // allow GC of the element
+	q.items = q.items[1:]
+	q.occupancy.Store(int64(len(q.items)))
+	q.dequeued.Add(1)
+	q.notFull.Signal()
+	q.mu.Unlock()
+	return item, nil
+}
+
+// TryDequeue removes and returns the oldest item without blocking. The bool
+// reports whether an item was returned; err is ErrClosed only when the queue
+// is closed and drained.
+func (q *Queue[T]) TryDequeue() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	item := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.occupancy.Store(int64(len(q.items)))
+	q.dequeued.Add(1)
+	q.notFull.Signal()
+	return item, true, nil
+}
+
+// DequeueWhile dequeues like Dequeue but gives up when keepWaiting returns
+// false, polling at the given interval while the queue is empty. The bool
+// reports whether an item was returned; err is ErrClosed when the queue is
+// closed and drained. DoPE task functors use this to block for work while
+// remaining responsive to the executive's suspension requests.
+func (q *Queue[T]) DequeueWhile(keepWaiting func() bool, poll time.Duration) (T, bool, error) {
+	if poll <= 0 {
+		poll = 100 * time.Microsecond
+	}
+	for {
+		item, ok, err := q.TryDequeue()
+		if ok || err != nil {
+			return item, ok, err
+		}
+		if !keepWaiting() {
+			var zero T
+			return zero, false, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Close marks the queue closed. Blocked producers fail with ErrClosed;
+// consumers drain remaining items and then receive ErrClosed. Closing twice
+// is harmless.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// Reopen clears the closed flag so the queue can be reused after a DoPE
+// reconfiguration (the InitCB path). Items still in the queue are preserved.
+func (q *Queue[T]) Reopen() {
+	q.mu.Lock()
+	q.closed = false
+	q.mu.Unlock()
+}
+
+// Closed reports whether Close has been called (and not undone by Reopen).
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Len returns the instantaneous occupancy without locking; it is the
+// intended implementation for a task's LoadCB.
+func (q *Queue[T]) Len() int { return int(q.occupancy.Load()) }
+
+// Peak returns the highest occupancy ever observed.
+func (q *Queue[T]) Peak() int { return int(q.peak.Load()) }
+
+// Enqueued returns the total number of successful Enqueue operations.
+func (q *Queue[T]) Enqueued() uint64 { return q.enqueued.Load() }
+
+// Dequeued returns the total number of successful Dequeue operations.
+func (q *Queue[T]) Dequeued() uint64 { return q.dequeued.Load() }

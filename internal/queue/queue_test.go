@@ -1,0 +1,330 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](0)
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("got %d, want %d", v, i)
+		}
+	}
+}
+
+func TestLenTracksOccupancy(t *testing.T) {
+	q := New[string](0)
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	q.Dequeue()
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if q.Peak() != 2 {
+		t.Fatalf("peak = %d", q.Peak())
+	}
+}
+
+func TestCloseWakesConsumers(t *testing.T) {
+	q := New[int](0)
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := q.Dequeue()
+			done <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("err = %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("consumer not woken by Close")
+		}
+	}
+}
+
+func TestCloseDrainsBeforeErr(t *testing.T) {
+	q := New[int](0)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	if v, err := q.Dequeue(); err != nil || v != 1 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if v, err := q.Dequeue(); err != nil || v != 2 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if _, err := q.Dequeue(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnqueueAfterCloseFails(t *testing.T) {
+	q := New[int](0)
+	q.Close()
+	if err := q.Enqueue(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := q.TryEnqueue(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBoundedBlocksProducer(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	ok, err := q.TryEnqueue(2)
+	if err != nil || ok {
+		t.Fatalf("TryEnqueue on full queue: ok=%v err=%v", ok, err)
+	}
+	released := make(chan struct{})
+	go func() {
+		q.Enqueue(2) // blocks until a slot frees
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("producer should be blocked")
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Dequeue()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("producer never released")
+	}
+}
+
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	q := New[int](1)
+	q.Enqueue(1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- q.Enqueue(2)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("producer not woken")
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New[int](0)
+	if _, ok, err := q.TryDequeue(); ok || err != nil {
+		t.Fatal("empty open queue should return (zero,false,nil)")
+	}
+	q.Enqueue(7)
+	v, ok, err := q.TryDequeue()
+	if !ok || err != nil || v != 7 {
+		t.Fatalf("got %v %v %v", v, ok, err)
+	}
+	q.Close()
+	if _, ok, err := q.TryDequeue(); ok || !errors.Is(err, ErrClosed) {
+		t.Fatal("drained closed queue should return ErrClosed")
+	}
+}
+
+func TestReopen(t *testing.T) {
+	q := New[int](0)
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("should be closed")
+	}
+	q.Reopen()
+	if q.Closed() {
+		t.Fatal("should be open")
+	}
+	if err := q.Enqueue(1); err != nil {
+		t.Fatalf("enqueue after reopen: %v", err)
+	}
+	if v, err := q.Dequeue(); err != nil || v != 1 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer, consumers = 8, 200, 8
+	q := New[int](16)
+	var got sync.Map
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(p*perProducer + i); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, err := q.Dequeue()
+				if err != nil {
+					return
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate value %d", v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != producers*perProducer {
+		t.Fatalf("received %d items, want %d", count, producers*perProducer)
+	}
+	if q.Enqueued() != producers*perProducer || q.Dequeued() != producers*perProducer {
+		t.Fatalf("counters: enq=%d deq=%d", q.Enqueued(), q.Dequeued())
+	}
+}
+
+// Property: after any sequence of enqueues and dequeues,
+// enqueued - dequeued == occupancy, and peak >= occupancy at all times.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := New[int](0)
+		for i, enq := range ops {
+			if enq {
+				q.Enqueue(i)
+			} else {
+				q.TryDequeue()
+			}
+			if int(q.Enqueued()-q.Dequeued()) != q.Len() {
+				return false
+			}
+			if q.Peak() < q.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FIFO order holds for any prefix of enqueues followed by dequeues.
+func TestFIFOProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		q := New[int](0)
+		for i := 0; i < int(n); i++ {
+			q.Enqueue(i)
+		}
+		for i := 0; i < int(n); i++ {
+			v, ok, err := q.TryDequeue()
+			if !ok || err != nil || v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeueWhileReturnsItemImmediately(t *testing.T) {
+	q := New[int](0)
+	q.Enqueue(7)
+	v, ok, err := q.DequeueWhile(func() bool { return false }, time.Millisecond)
+	if !ok || err != nil || v != 7 {
+		t.Fatalf("got %v %v %v", v, ok, err)
+	}
+}
+
+func TestDequeueWhileGivesUpWhenPredicateFalse(t *testing.T) {
+	q := New[int](0)
+	start := time.Now()
+	_, ok, err := q.DequeueWhile(func() bool { return false }, time.Millisecond)
+	if ok || err != nil {
+		t.Fatalf("expected (zero,false,nil), got ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("gave up too slowly")
+	}
+}
+
+func TestDequeueWhileSeesLateItem(t *testing.T) {
+	q := New[int](0)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.Enqueue(42)
+	}()
+	v, ok, err := q.DequeueWhile(func() bool { return true }, 500*time.Microsecond)
+	if !ok || err != nil || v != 42 {
+		t.Fatalf("got %v %v %v", v, ok, err)
+	}
+}
+
+func TestDequeueWhileClosedQueue(t *testing.T) {
+	q := New[int](0)
+	q.Enqueue(1)
+	q.Close()
+	if v, ok, err := q.DequeueWhile(func() bool { return true }, 0); !ok || err != nil || v != 1 {
+		t.Fatalf("drain failed: %v %v %v", v, ok, err)
+	}
+	if _, ok, err := q.DequeueWhile(func() bool { return true }, 0); ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed+drained should return ErrClosed, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDequeueWhileStopsPredicateChange(t *testing.T) {
+	q := New[int](0)
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(stop)
+	}()
+	_, ok, err := q.DequeueWhile(func() bool {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}, 500*time.Microsecond)
+	if ok || err != nil {
+		t.Fatalf("expected give-up after predicate flips, got ok=%v err=%v", ok, err)
+	}
+}

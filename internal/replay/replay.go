@@ -1,0 +1,379 @@
+// Package replay records the executive's monitoring snapshots to a JSONL
+// log and replays them offline against any mechanism. This is tooling for
+// the paper's third agent, the mechanism developer (§5): capture one run
+// of an application, then iterate on a mechanism's logic against the
+// recorded observations without re-running the application at all.
+//
+// A recorded Report keeps everything a mechanism consumes — the stage
+// observations, the configuration, the platform features it read — plus
+// enough of the spec structure (names, types, DoP bounds, alternatives) to
+// reconstruct a structural NestSpec on load. Functors are not (and cannot
+// be) serialized; replayed specs use placeholder factories and are only
+// suitable for driving mechanisms, never for execution.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dope/internal/core"
+	"dope/internal/platform"
+)
+
+// SpecRecord is the serializable structure of a NestSpec.
+type SpecRecord struct {
+	Name string      `json:"name"`
+	Alts []AltRecord `json:"alts"`
+}
+
+// AltRecord is the serializable structure of one alternative.
+type AltRecord struct {
+	Name   string        `json:"name"`
+	Stages []StageRecord `json:"stages"`
+}
+
+// StageRecord is the serializable structure of one stage.
+type StageRecord struct {
+	Name   string      `json:"name"`
+	Par    bool        `json:"par"`
+	MinDoP int         `json:"minDoP,omitempty"`
+	MaxDoP int         `json:"maxDoP,omitempty"`
+	Nest   *SpecRecord `json:"nest,omitempty"`
+}
+
+// StageObs is one stage's observation row.
+type StageObs struct {
+	Name          string  `json:"name"`
+	Par           bool    `json:"par"`
+	MinDoP        int     `json:"minDoP,omitempty"`
+	MaxDoP        int     `json:"maxDoP,omitempty"`
+	HasNest       bool    `json:"hasNest,omitempty"`
+	Extent        int     `json:"extent"`
+	ExecTime      float64 `json:"execTime"`
+	MeanExecTime  float64 `json:"meanExecTime"`
+	Rate          float64 `json:"rate"`
+	Load          float64 `json:"load"`
+	LoadInstances int     `json:"loadInstances"`
+	Iterations    uint64  `json:"iterations"`
+	Completed     uint64  `json:"completed"`
+}
+
+// NestObs is one nest's observation subtree.
+type NestObs struct {
+	Name     string              `json:"name"`
+	Path     string              `json:"path"`
+	AltIndex int                 `json:"altIndex"`
+	AltName  string              `json:"altName"`
+	Stages   []StageObs          `json:"stages"`
+	Children map[string]*NestObs `json:"children,omitempty"`
+}
+
+// ConfigRecord mirrors core.Config.
+type ConfigRecord struct {
+	Alt      int                      `json:"alt"`
+	Extents  []int                    `json:"extents"`
+	Children map[string]*ConfigRecord `json:"children,omitempty"`
+}
+
+// Entry is one recorded control-tick snapshot.
+type Entry struct {
+	// TimeSec is the executive uptime at the snapshot, in seconds.
+	TimeSec float64 `json:"t"`
+	// Contexts/BusyContexts/BlockedAcquires mirror core.Report.
+	Contexts        int `json:"contexts"`
+	BusyContexts    int `json:"busy"`
+	BlockedAcquires int `json:"blocked"`
+	// Features holds the sampled platform features by name.
+	Features map[string]float64 `json:"features,omitempty"`
+	// Spec is the structural spec tree (recorded once per entry for
+	// self-containedness; logs compress well).
+	Spec *SpecRecord `json:"spec"`
+	// Config is the active configuration.
+	Config *ConfigRecord `json:"config"`
+	// Root is the observation tree.
+	Root *NestObs `json:"root"`
+}
+
+// --- encoding ---------------------------------------------------------------
+
+func encodeSpec(s *core.NestSpec) *SpecRecord {
+	if s == nil {
+		return nil
+	}
+	out := &SpecRecord{Name: s.Name}
+	for _, alt := range s.Alts {
+		ar := AltRecord{Name: alt.Name}
+		for i := range alt.Stages {
+			st := &alt.Stages[i]
+			ar.Stages = append(ar.Stages, StageRecord{
+				Name: st.Name, Par: st.Type == core.PAR,
+				MinDoP: st.MinDoP, MaxDoP: st.MaxDoP,
+				Nest: encodeSpec(st.Nest),
+			})
+		}
+		out.Alts = append(out.Alts, ar)
+	}
+	return out
+}
+
+func encodeConfig(c *core.Config) *ConfigRecord {
+	if c == nil {
+		return nil
+	}
+	out := &ConfigRecord{Alt: c.Alt, Extents: append([]int(nil), c.Extents...)}
+	for k, v := range c.Children {
+		if out.Children == nil {
+			out.Children = map[string]*ConfigRecord{}
+		}
+		out.Children[k] = encodeConfig(v)
+	}
+	return out
+}
+
+func encodeNest(n *core.NestReport) *NestObs {
+	if n == nil {
+		return nil
+	}
+	out := &NestObs{
+		Name: n.Name, Path: n.Path, AltIndex: n.AltIndex, AltName: n.AltName,
+	}
+	for _, st := range n.Stages {
+		out.Stages = append(out.Stages, StageObs{
+			Name: st.Name, Par: st.Type == core.PAR,
+			MinDoP: st.MinDoP, MaxDoP: st.MaxDoP, HasNest: st.HasNest,
+			Extent: st.Extent, ExecTime: st.ExecTime, MeanExecTime: st.MeanExecTime,
+			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
+			Iterations: st.Iterations, Completed: st.Completed,
+		})
+	}
+	for k, v := range n.Children {
+		if out.Children == nil {
+			out.Children = map[string]*NestObs{}
+		}
+		out.Children[k] = encodeNest(v)
+	}
+	return out
+}
+
+// Encode converts a live report into a serializable entry. Feature values
+// are sampled now, through the registered callbacks.
+func Encode(r *core.Report) *Entry {
+	e := &Entry{
+		TimeSec:         r.Time.Seconds(),
+		Contexts:        r.Contexts,
+		BusyContexts:    r.BusyContexts,
+		BlockedAcquires: r.BlockedAcquires,
+		Spec:            encodeSpec(rootSpec(r)),
+		Config:          encodeConfig(r.Config),
+		Root:            encodeNest(r.Root),
+	}
+	if r.Features != nil {
+		for _, name := range r.Features.Names() {
+			if v, err := r.Features.Value(name); err == nil {
+				if e.Features == nil {
+					e.Features = map[string]float64{}
+				}
+				e.Features[name] = v
+			}
+		}
+	}
+	return e
+}
+
+func rootSpec(r *core.Report) *core.NestSpec {
+	if r.Root == nil {
+		return nil
+	}
+	return r.Root.Spec
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// noopMake stands in for the unserializable functor factories.
+func noopMake(item any) (*core.AltInstance, error) { return nil, nil }
+
+func decodeSpec(s *SpecRecord) *core.NestSpec {
+	if s == nil {
+		return nil
+	}
+	out := &core.NestSpec{Name: s.Name}
+	for _, ar := range s.Alts {
+		alt := &core.AltSpec{Name: ar.Name, Make: noopMake}
+		for _, sr := range ar.Stages {
+			t := core.SEQ
+			if sr.Par {
+				t = core.PAR
+			}
+			alt.Stages = append(alt.Stages, core.StageSpec{
+				Name: sr.Name, Type: t, MinDoP: sr.MinDoP, MaxDoP: sr.MaxDoP,
+				Nest: decodeSpec(sr.Nest),
+			})
+		}
+		out.Alts = append(out.Alts, alt)
+	}
+	return out
+}
+
+func decodeConfig(c *ConfigRecord) *core.Config {
+	if c == nil {
+		return nil
+	}
+	out := &core.Config{Alt: c.Alt, Extents: append([]int(nil), c.Extents...)}
+	for k, v := range c.Children {
+		out.SetChild(k, decodeConfig(v))
+	}
+	return out
+}
+
+func decodeNest(n *NestObs, spec *core.NestSpec) *core.NestReport {
+	if n == nil {
+		return nil
+	}
+	out := &core.NestReport{
+		Name: n.Name, Path: n.Path, Spec: spec,
+		AltIndex: n.AltIndex, AltName: n.AltName,
+	}
+	for _, st := range n.Stages {
+		t := core.SEQ
+		if st.Par {
+			t = core.PAR
+		}
+		out.Stages = append(out.Stages, core.StageReport{
+			Name: st.Name, Type: t, MinDoP: st.MinDoP, MaxDoP: st.MaxDoP,
+			HasNest: st.HasNest, Extent: st.Extent,
+			ExecTime: st.ExecTime, MeanExecTime: st.MeanExecTime,
+			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
+			Iterations: st.Iterations, Completed: st.Completed,
+		})
+	}
+	for k, v := range n.Children {
+		if out.Children == nil {
+			out.Children = map[string]*core.NestReport{}
+		}
+		var childSpec *core.NestSpec
+		if spec != nil {
+			childSpec = findChild(spec, k)
+		}
+		out.Children[k] = decodeNest(v, childSpec)
+	}
+	return out
+}
+
+func findChild(spec *core.NestSpec, name string) *core.NestSpec {
+	for _, alt := range spec.Alts {
+		for i := range alt.Stages {
+			if n := alt.Stages[i].Nest; n != nil && n.Name == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs a core.Report a mechanism can consume. The spec tree
+// is structural only (placeholder factories); Features answers exactly the
+// recorded values.
+func Decode(e *Entry) *core.Report {
+	spec := decodeSpec(e.Spec)
+	features := platform.NewFeatures()
+	for name, v := range e.Features {
+		v := v
+		features.Register(name, func() float64 { return v })
+	}
+	return &core.Report{
+		Time:            time.Duration(e.TimeSec * float64(time.Second)),
+		Contexts:        e.Contexts,
+		BusyContexts:    e.BusyContexts,
+		BlockedAcquires: e.BlockedAcquires,
+		Features:        features,
+		Config:          decodeConfig(e.Config),
+		Root:            decodeNest(e.Root, spec),
+	}
+}
+
+// --- log I/O ----------------------------------------------------------------
+
+// Recorder appends entries to a JSONL stream. Safe for concurrent use.
+type Recorder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+}
+
+// NewRecorder wraps w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Record samples and appends one snapshot.
+func (r *Recorder) Record(rep *core.Report) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(Encode(rep)); err != nil {
+		return fmt.Errorf("replay: record: %w", err)
+	}
+	r.n++
+	return nil
+}
+
+// Count returns how many entries were recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// ReadLog parses a JSONL log into entries.
+func ReadLog(rd io.Reader) ([]*Entry, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []*Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("replay: line %d: %w", line, err)
+		}
+		out = append(out, &e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return out, nil
+}
+
+// Decision is one mechanism output during a replay.
+type Decision struct {
+	// Index and TimeSec locate the triggering entry.
+	Index   int
+	TimeSec float64
+	// Config is the mechanism's (normalized) proposal; nil means "keep".
+	Config *core.Config
+}
+
+// Replay feeds every entry to the mechanism in order and collects its
+// non-nil decisions, normalizing each against the recorded spec — an
+// offline dry-run of "what would this mechanism have done".
+func Replay(entries []*Entry, m core.Mechanism) []Decision {
+	var out []Decision
+	for i, e := range entries {
+		rep := Decode(e)
+		cfg := m.Reconfigure(rep)
+		if cfg == nil {
+			continue
+		}
+		if rep.Root != nil && rep.Root.Spec != nil {
+			cfg.Normalize(rep.Root.Spec)
+		}
+		out = append(out, Decision{Index: i, TimeSec: e.TimeSec, Config: cfg})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package sim is a discrete-event simulator of the paper's evaluation
+// platform: a 24-context server executing DoPE applications under Poisson
+// load. It exists because the quantitative experiments (Figures 2 and
+// 11–15) sweep hundreds of operating points over minutes of simulated
+// wall-clock time; the simulator reproduces the queueing dynamics, parallel
+// efficiency curves, and power behaviour deterministically and in
+// milliseconds, while the real runtime (package core + apps) demonstrates
+// the same protocol live.
+//
+// Crucially, mechanisms are not reimplemented: the simulator synthesizes
+// core.Report snapshots from its state and drives the very same
+// core.Mechanism implementations the real executive uses, then interprets
+// the returned core.Config analytically.
+package sim
+
+import "container/heap"
+
+// eventKind orders simultaneous events deterministically.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evControl
+	evSample
+)
+
+// event is one scheduled simulator occurrence.
+type event struct {
+	at   float64 // seconds of simulated time
+	kind eventKind
+	seq  uint64 // tie-breaker for determinism
+	// payload fields; which are valid depends on kind.
+	stage int
+	item  int
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// agenda wraps the heap with a sequence counter.
+type agenda struct {
+	h   eventHeap
+	seq uint64
+}
+
+func newAgenda() *agenda {
+	a := &agenda{}
+	heap.Init(&a.h)
+	return a
+}
+
+func (a *agenda) schedule(at float64, kind eventKind, stage, item int) {
+	a.seq++
+	heap.Push(&a.h, event{at: at, kind: kind, seq: a.seq, stage: stage, item: item})
+}
+
+func (a *agenda) empty() bool { return len(a.h) == 0 }
+
+func (a *agenda) next() event { return heap.Pop(&a.h).(event) }

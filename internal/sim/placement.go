@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+
+	"dope/internal/platform"
+)
+
+// Placement selects how pipeline stages are mapped onto hardware contexts
+// — the paper's third orchestration decision (§1): tasks placed so that
+// communicating stages share sockets pay the base forwarding cost; stages
+// split across sockets pay CrossSocketFactor times more per transfer.
+type Placement int
+
+const (
+	// PlaceNone ignores topology: every hop costs the base HopTime (the
+	// model used by the paper's headline experiments, where placement is
+	// folded into HopTime).
+	PlaceNone Placement = iota
+	// PlaceContiguous assigns contexts to stages in pipeline order and
+	// lets the executive choose the alignment: in a full machine some
+	// producer→consumer edge must cross a socket boundary, so the
+	// scheduler slides the layout to keep the bottleneck stage's in-edge
+	// local — the locality-maximizing schedule of §1.
+	PlaceContiguous
+	// PlaceScatter round-robins each stage's workers across all sockets —
+	// the locality-oblivious schedule of a naive thread pool.
+	PlaceScatter
+)
+
+// CrossSocketFactor scales the forwarding cost of an off-socket transfer
+// (last-level-cache miss plus interconnect) relative to an on-socket one.
+const CrossSocketFactor = 3.0
+
+// contiguousMultipliers computes per-stage forwarding multipliers for a
+// contiguous stage layout starting at context offset.
+func contiguousMultipliers(topo platform.Topology, extents []int, offset int) []float64 {
+	n := len(extents)
+	out := make([]float64, n)
+	out[0] = 1
+	starts := make([]int, n)
+	acc := offset
+	for i, e := range extents {
+		starts[i] = acc
+		acc += e
+	}
+	for i := 1; i < n; i++ {
+		shared := topo.SharedFraction(starts[i-1], extents[i-1], starts[i], extents[i])
+		out[i] = shared*1 + (1-shared)*CrossSocketFactor
+	}
+	return out
+}
+
+// scatterMultipliers computes the multipliers when every stage spreads over
+// all sockets: the chance a transfer stays on-socket is 1/sockets.
+func scatterMultipliers(topo platform.Topology, n int) []float64 {
+	out := make([]float64, n)
+	out[0] = 1
+	local := 1.0 / float64(topo.Sockets)
+	for i := 1; i < n; i++ {
+		out[i] = local*1 + (1-local)*CrossSocketFactor
+	}
+	return out
+}
+
+// placementMultipliers computes each stage's forwarding-cost multiplier
+// under the policy. service estimates a stage's per-item time given its
+// multiplier (used by PlaceContiguous to keep the bottleneck's in-edge
+// local); it may be nil, in which case the first alignment is used.
+func placementMultipliers(topo platform.Topology, extents []int, p Placement,
+	service func(stage int, mult float64) float64) []float64 {
+	n := len(extents)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if n == 0 || p == PlaceNone {
+		return ones
+	}
+	switch p {
+	case PlaceScatter:
+		return scatterMultipliers(topo, n)
+	case PlaceContiguous:
+		if service == nil {
+			return contiguousMultipliers(topo, extents, 0)
+		}
+		// The executive slides the layout within one socket's worth of
+		// offsets (the pattern repeats every CoresPerSocket) and keeps the
+		// alignment whose slowest stage is fastest.
+		var best []float64
+		bestPeriod := math.Inf(1)
+		for off := 0; off < topo.CoresPerSocket; off++ {
+			m := contiguousMultipliers(topo, extents, off)
+			period := 0.0
+			for i := range extents {
+				p := service(i, m[i]) / float64(maxOfInt(1, extents[i]))
+				if p > period {
+					period = p
+				}
+			}
+			if period < bestPeriod {
+				bestPeriod = period
+				best = m
+			}
+		}
+		return best
+	default:
+		return ones
+	}
+}
+
+func maxOfInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dope/internal/core"
+	"dope/internal/mechanism"
+)
+
+// Property: the server simulator conserves work and respects Equation 1's
+// decomposition: response = wait + exec, exec within the model's range,
+// and throughput bounded by the calibrated maximum, for any seed, load,
+// and static configuration.
+func TestServerInvariantsProperty(t *testing.T) {
+	model := Transcode()
+	f := func(seed int64, lfRaw, mRaw uint8) bool {
+		lf := 0.1 + float64(lfRaw%10)*0.1
+		m := []int{1, 2, 4, 8, 16}[mRaw%5]
+		res := RunServer(model, ServerConfig{
+			Tasks: 120, LoadFactor: lf, Seed: seed,
+			OuterK: 24 / maxOf(1, m), InnerM: m,
+		})
+		if res.MeanResponse+1e-12 < res.MeanExec {
+			return false // response must include execution
+		}
+		wantExec := model.ExecTime(m)
+		if diff := res.MeanExec - wantExec; diff > 1e-9 || diff < -1e-9 {
+			return false // static config's exec time is deterministic
+		}
+		// Throughput can transiently exceed the calibrated maximum at
+		// light loads (idle gaps shrink the busy window) but not absurdly.
+		return res.Throughput > 0 && res.Throughput < 4*res.MaxThroughput
+	}
+	if err := quick.Check(f, quickCfg(30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pipeline simulation conserves items (throughput > 0 implies
+// all items completed — the run loop only terminates when the agenda is
+// empty, which requires every item to have left the last stage) and the
+// steady-state rate is positive, for any extents and seeds.
+func TestPipelineInvariantsProperty(t *testing.T) {
+	model := Ferret()
+	f := func(seed int64, e1, e2, e3, e4 uint8) bool {
+		extents := []int{1, int(e1)%6 + 1, int(e2)%6 + 1, int(e3)%6 + 1, int(e4)%6 + 1, 1}
+		res := RunPipeline(model, PipelineConfig{
+			Tasks: 150, Seed: seed, Extents: extents,
+		})
+		if res.Throughput <= 0 || res.SteadyThroughput <= 0 {
+			return false
+		}
+		// Final extents echo the clamped configuration (SEQ stages 1).
+		return res.FinalExtents[0] == 1 && res.FinalExtents[5] == 1
+	}
+	if err := quick.Check(f, quickCfg(30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under any mechanism the pipeline still completes every item
+// and ends on a legal alternative.
+func TestPipelineMechanismSafetyProperty(t *testing.T) {
+	model := Dedup()
+	f := func(seed int64, pick uint8) bool {
+		// Build mechanisms inline: each run needs fresh state.
+		var m core.Mechanism
+		switch pick % 4 {
+		case 0:
+			m = &mechanism.TBF{Threads: 24}
+		case 1:
+			m = &mechanism.FDP{Threads: 24}
+		case 2:
+			m = &mechanism.SEDA{HighWater: 6, LowWater: 1, PerStageCap: 24}
+		case 3:
+			m = &mechanism.LoadProportional{Threads: 24}
+		}
+		res := RunPipeline(model, PipelineConfig{
+			Tasks: 200, Seed: seed, Extents: []int{1, 1, 1, 1},
+			Mechanism: m, ControlEvery: 0.03,
+		})
+		if res.Throughput <= 0 {
+			return false
+		}
+		return res.FinalAlt == 0 || res.FinalAlt == 1
+	}
+	if err := quick.Check(f, quickCfg(20)); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickCfg bounds the number of property iterations (each runs a whole
+// simulation).
+func quickCfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

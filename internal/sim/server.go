@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"math"
+
+	"dope/internal/core"
+	"dope/internal/platform"
+	"dope/internal/stats"
+	"dope/internal/workload"
+)
+
+// ServerConfig parameterizes one server-simulation run.
+type ServerConfig struct {
+	// Contexts is the platform size (default 24).
+	Contexts int
+	// Tasks is how many transactions to run (the paper uses 500).
+	Tasks int
+	// LoadFactor is arrival rate / max throughput.
+	LoadFactor float64
+	// Seed drives the Poisson arrival stream.
+	Seed int64
+	// SizeJitter adds bounded multiplicative noise to per-task work (the
+	// paper's workloads are roughly homogeneous; real video/file sizes
+	// vary). 0 disables.
+	SizeJitter float64
+	// Mechanism adapts the configuration each ControlEvery seconds; nil
+	// keeps the static configuration.
+	Mechanism core.Mechanism
+	// ControlEvery is the control-loop period in seconds (default 0.05).
+	ControlEvery float64
+	// OuterK and InnerM set the static/initial configuration: OuterK
+	// concurrent transactions, each on InnerM contexts. InnerM <= 1 means
+	// the fused sequential inner loop.
+	OuterK, InnerM int
+	// Oracle, when true, overrides the mechanism with clairvoyant per-job
+	// DoP selection (Figure 2(c)'s oracle): at each job start the
+	// simulator picks the inner extent minimizing that job's predicted
+	// response time given the instantaneous queue.
+	Oracle bool
+	// OracleExtents are the inner extents the oracle chooses among
+	// (default 1, 2, 4, 8, 16).
+	OracleExtents []int
+}
+
+func (c *ServerConfig) defaults() {
+	if c.Contexts <= 0 {
+		c.Contexts = 24
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = workload.CalibrationTasks
+	}
+	if c.ControlEvery <= 0 {
+		c.ControlEvery = 0.05
+	}
+	if c.OuterK <= 0 {
+		c.OuterK = c.Contexts
+	}
+	if c.InnerM <= 0 {
+		c.InnerM = 1
+	}
+	if len(c.OracleExtents) == 0 {
+		c.OracleExtents = []int{1, 2, 4, 8, 16}
+	}
+}
+
+// ServerResult is the outcome of one run.
+type ServerResult struct {
+	// MeanResponse, MeanWait, MeanExec are per-transaction seconds.
+	MeanResponse float64
+	MeanWait     float64
+	MeanExec     float64
+	// P95Response is the 95th percentile response time.
+	P95Response float64
+	// Throughput is completions per second over the busy period.
+	Throughput float64
+	// MaxThroughput is the calibration N/T with the current configuration
+	// under saturation (all arrivals at time zero).
+	MaxThroughput float64
+	// Reconfigurations counts applied configuration changes.
+	Reconfigurations int
+}
+
+// MaxThroughputOf calibrates the system's maximum sustainable throughput
+// for a model at a given static configuration, following §8.2: N tasks
+// enqueued at once, executed "in parallel (but executing each task itself
+// sequentially)" for the load-factor definition (outerK = contexts,
+// innerM = 1).
+func MaxThroughputOf(m *ServerModel, contexts, tasks int) float64 {
+	jobs := contexts // K concurrent sequential jobs
+	if tasks < jobs {
+		jobs = tasks
+	}
+	t := m.SeqTime * math.Ceil(float64(tasks)/float64(jobs))
+	return float64(tasks) / t
+}
+
+// serverSim is the two-level server DES.
+type serverSim struct {
+	cfg    ServerConfig
+	model  *ServerModel
+	agenda *agenda
+	now    float64
+
+	queue     []float64 // arrival times of queued jobs
+	running   int
+	busyCtx   int
+	sizes     *workload.Sizes
+	arrivals  *workload.Arrivals
+	arrived   int
+	completed int
+
+	outerK   int
+	innerM   int
+	innerAlt int // 0 = parallel, 1 = fused
+	reconfs  int
+
+	respWait stats.Welford
+	respExec stats.Welford
+	resp     stats.Welford
+	respAll  []float64
+	firstAt  float64
+	lastAt   float64
+	nextItem int
+}
+
+// RunServer simulates one operating point of a server application and
+// returns its aggregate metrics.
+func RunServer(model *ServerModel, cfg ServerConfig) ServerResult {
+	cfg.defaults()
+	maxTp := MaxThroughputOf(model, cfg.Contexts, cfg.Tasks)
+	rate := workload.LoadFactor(cfg.LoadFactor).RateFor(maxTp)
+	s := &serverSim{
+		cfg:      cfg,
+		model:    model,
+		agenda:   newAgenda(),
+		arrivals: workload.NewArrivals(rate, cfg.Seed),
+		sizes:    workload.NewSizes(1.0, cfg.SizeJitter, cfg.Seed+1),
+		outerK:   cfg.OuterK,
+		innerM:   cfg.InnerM,
+	}
+	if cfg.InnerM <= 1 {
+		s.innerAlt = 1
+	}
+	s.agenda.schedule(s.arrivals.Next().Seconds(), evArrival, 0, 0)
+	if cfg.Mechanism != nil && !cfg.Oracle {
+		s.agenda.schedule(cfg.ControlEvery, evControl, 0, 0)
+	}
+	s.loop()
+	res := ServerResult{
+		MeanResponse:     s.resp.Mean(),
+		MeanWait:         s.respWait.Mean(),
+		MeanExec:         s.respExec.Mean(),
+		Throughput:       float64(s.completed) / math.Max(s.lastAt-s.firstAt, 1e-9),
+		MaxThroughput:    maxTp,
+		Reconfigurations: s.reconfs,
+	}
+	if p95, err := stats.Percentile(s.respAll, 95); err == nil {
+		res.P95Response = p95
+	}
+	return res
+}
+
+func (s *serverSim) loop() {
+	for !s.agenda.empty() {
+		ev := s.agenda.next()
+		s.now = ev.at
+		switch ev.kind {
+		case evArrival:
+			s.arrived++
+			s.queue = append(s.queue, s.now)
+			if s.arrived < s.cfg.Tasks {
+				s.agenda.schedule(s.now+s.arrivals.Next().Seconds(), evArrival, 0, 0)
+			}
+			s.tryStart()
+		case evCompletion:
+			s.running--
+			s.busyCtx -= ev.stage // stage field carries the job's context count
+			s.completed++
+			s.lastAt = s.now
+			s.tryStart()
+		case evControl:
+			s.control()
+			if s.completed < s.cfg.Tasks {
+				s.agenda.schedule(s.now+s.cfg.ControlEvery, evControl, 0, 0)
+			}
+		}
+	}
+}
+
+// effectiveK caps concurrency by context feasibility.
+func (s *serverSim) effectiveK(m int) int {
+	k := s.outerK
+	if m < 1 {
+		m = 1
+	}
+	if byCtx := s.cfg.Contexts / m; k > byCtx {
+		k = byCtx
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (s *serverSim) tryStart() {
+	for len(s.queue) > 0 {
+		m := s.innerM
+		if s.innerAlt == 1 {
+			m = 1
+		}
+		if s.cfg.Oracle {
+			m = s.oracleChoice()
+		}
+		if s.running >= s.effectiveK(m) {
+			return
+		}
+		arrival := s.queue[0]
+		s.queue = s.queue[1:]
+		exec := s.model.ExecTime(m) * s.sizes.Next()
+		wait := s.now - arrival
+		s.respWait.Observe(wait)
+		s.respExec.Observe(exec)
+		s.resp.Observe(wait + exec)
+		s.respAll = append(s.respAll, wait+exec)
+		if s.completed == 0 && s.running == 0 && s.firstAt == 0 {
+			s.firstAt = arrival
+		}
+		s.running++
+		s.busyCtx += m
+		s.nextItem++
+		s.agenda.schedule(s.now+exec, evCompletion, m, s.nextItem)
+	}
+}
+
+// oracleChoice picks the inner extent minimizing this job's predicted
+// response time given the queue it would leave behind — the clairvoyant
+// policy of Figure 2(c): light queue → latency-optimal wide DoP, heavy
+// queue → throughput-optimal sequential DoP. Being an oracle, it knows the
+// arrival rate: configurations that cannot sustain the offered load are
+// only allowed while the system is effectively idle, because choosing them
+// under pressure trades away capacity the arrivals will reclaim with
+// interest.
+func (s *serverSim) oracleChoice() int {
+	q := float64(len(s.queue))
+	lambda := s.arrivals.Rate()
+	best, bestCost := 1, math.Inf(1)
+	for _, m := range s.cfg.OracleExtents {
+		if m > s.cfg.Contexts {
+			continue
+		}
+		exec := s.model.ExecTime(m)
+		k := float64(s.effectiveK(m))
+		tput := k / exec
+		if tput < lambda && q >= 2 {
+			continue // unsustainable and the backlog is already visible
+		}
+		// Predicted response: own execution plus the queue draining ahead
+		// at the configuration's throughput (Equation 1).
+		cost := exec + q/tput
+		if cost < bestCost {
+			best, bestCost = m, cost
+		}
+	}
+	return best
+}
+
+// control synthesizes a report, consults the mechanism, and applies the
+// returned configuration.
+func (s *serverSim) control() {
+	rep := s.report()
+	newCfg := s.cfg.Mechanism.Reconfigure(rep)
+	if newCfg == nil {
+		return
+	}
+	newCfg.Normalize(s.model.Spec)
+	k := newCfg.Extents[0]
+	inner := newCfg.Child(s.model.InnerName)
+	alt := 0
+	m := 1
+	if inner != nil {
+		alt = inner.Alt
+		m = 0
+		for _, e := range inner.Extents {
+			m += e
+		}
+	}
+	if k != s.outerK || m != s.innerM || alt != s.innerAlt {
+		s.outerK, s.innerM, s.innerAlt = k, m, alt
+		s.reconfs++
+	}
+}
+
+// report synthesizes the core.Report a real executive would produce.
+func (s *serverSim) report() *core.Report {
+	spec := s.model.Spec
+	innerSpec := spec.Alts[0].Stages[0].Nest
+	cfg := core.DefaultConfig(spec)
+	cfg.Extents[0] = s.outerK
+	innerCfg := cfg.Child(s.model.InnerName)
+	innerCfg.Alt = s.innerAlt
+
+	iters := uint64(s.completed + 100)
+	exec := s.model.ExecTime(s.innerM)
+
+	var innerStages []core.StageReport
+	alt := innerSpec.Alt(s.innerAlt)
+	innerCfg.Extents = make([]int, len(alt.Stages))
+	for i := range alt.Stages {
+		st := &alt.Stages[i]
+		t := s.model.SeqTime
+		if s.innerAlt == 0 && i < len(s.model.InnerStageTimes) {
+			t = s.model.InnerStageTimes[i]
+		}
+		extent := 1
+		if st.Type == core.PAR && s.innerAlt == 0 {
+			extent = s.innerM - (len(alt.Stages) - 1)
+			if extent < 1 {
+				extent = 1
+			}
+		}
+		innerCfg.Extents[i] = extent
+		innerStages = append(innerStages, core.StageReport{
+			Name: st.Name, Type: st.Type, MinDoP: st.MinDoP, MaxDoP: st.MaxDoP,
+			Extent: extent, ExecTime: t, MeanExecTime: t, Iterations: iters,
+		})
+	}
+	return &core.Report{
+		Contexts:     s.cfg.Contexts,
+		BusyContexts: s.busyCtx,
+		Features:     platform.NewFeatures(),
+		Config:       cfg,
+		Root: &core.NestReport{
+			Name: spec.Name, Path: spec.Name, Spec: spec,
+			AltIndex: 0, AltName: "outer",
+			Stages: []core.StageReport{{
+				Name: "serve", Type: core.PAR, HasNest: true,
+				Extent: s.outerK, ExecTime: exec, MeanExecTime: exec,
+				Load: float64(len(s.queue)), LoadInstances: 1, Iterations: iters,
+			}},
+			Children: map[string]*core.NestReport{
+				s.model.InnerName: {
+					Name: s.model.InnerName, Path: spec.Name + "/" + s.model.InnerName,
+					Spec: innerSpec, AltIndex: s.innerAlt, AltName: alt.Name,
+					Stages: innerStages,
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dope/internal/mechanism"
+)
+
+// --- model calibration against the paper -----------------------------------
+
+func TestTranscodeSpeedupMatchesPaper(t *testing.T) {
+	m := Transcode()
+	s8 := m.SeqTime / m.ParTime(8)
+	if s8 < 6.0 || s8 > 6.5 {
+		t.Fatalf("transcode speedup(8) = %.2f, want ≈6.3 (Figure 2a)", s8)
+	}
+	// Speedup saturates beyond the knee.
+	if m.ParTime(16) < m.ParTime(8)-1e-12 {
+		t.Fatal("speedup must not grow past the dependency height")
+	}
+	// Execution time strictly improves from sequential to DoP 8.
+	if m.ParTime(8) >= m.SeqTime {
+		t.Fatal("parallel must beat sequential")
+	}
+}
+
+func TestCompressDoPminIsFour(t *testing.T) {
+	m := Compress()
+	// Table 4: minimum inner extent with speedup over sequential is 4.
+	for e := 2; e <= 3; e++ {
+		if m.ParTime(e) < m.SeqTime {
+			t.Fatalf("extent %d should NOT beat sequential: par=%.4f seq=%.4f",
+				e, m.ParTime(e), m.SeqTime)
+		}
+	}
+	if m.ParTime(4) >= m.SeqTime {
+		t.Fatalf("extent 4 should beat sequential: par=%.4f seq=%.4f",
+			m.ParTime(4), m.SeqTime)
+	}
+}
+
+func TestServerModelsMonotoneAtModerateExtents(t *testing.T) {
+	for _, m := range []*ServerModel{Transcode(), Swaptions(), Oilify()} {
+		prev := m.SeqTime
+		for e := 2; e <= 8; e *= 2 {
+			cur := m.ParTime(e)
+			if cur > prev+1e-12 {
+				t.Fatalf("%s: ParTime(%d)=%.4f worse than previous %.4f",
+					m.Name, e, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestMmaxDefinition(t *testing.T) {
+	m := Transcode()
+	knee := m.Mmax(0.5, 24)
+	if knee < 8 || knee > 16 {
+		t.Fatalf("transcode efficiency knee = %d, expected in [8,16]", knee)
+	}
+}
+
+// --- server DES: Figure 2 shapes -------------------------------------------
+
+func TestFig2aExecTimeImprovesWithInnerDoP(t *testing.T) {
+	model := Transcode()
+	var prev float64 = math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8} {
+		res := RunServer(model, ServerConfig{
+			Tasks: 200, LoadFactor: 0.3, Seed: 1,
+			OuterK: 24 / max(1, m), InnerM: m,
+		})
+		if res.MeanExec >= prev {
+			t.Fatalf("exec time should fall with inner DoP: m=%d exec=%.4f prev=%.4f",
+				m, res.MeanExec, prev)
+		}
+		prev = res.MeanExec
+	}
+}
+
+func TestFig2bThroughputCrossover(t *testing.T) {
+	model := Transcode()
+	// At light load both configurations keep up; at saturation the
+	// sequential-inner configuration sustains higher throughput.
+	seqHeavy := RunServer(model, ServerConfig{
+		Tasks: 400, LoadFactor: 1.0, Seed: 2, OuterK: 24, InnerM: 1,
+	})
+	parHeavy := RunServer(model, ServerConfig{
+		Tasks: 400, LoadFactor: 1.0, Seed: 2, OuterK: 3, InnerM: 8,
+	})
+	if parHeavy.Throughput >= seqHeavy.Throughput {
+		t.Fatalf("at load 1.0 sequential inner must win: seq=%.1f par=%.1f",
+			seqHeavy.Throughput, parHeavy.Throughput)
+	}
+	ratio := parHeavy.Throughput / seqHeavy.Throughput
+	if ratio < 0.6 || ratio > 0.95 {
+		t.Fatalf("throughput degradation ratio = %.2f, expected ~0.78 (efficiency at DoP 8)", ratio)
+	}
+}
+
+func TestFig2cResponseTimeRegimes(t *testing.T) {
+	model := Transcode()
+	// Light load: inner parallelism (latency mode) must win on response.
+	seqLight := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.2, Seed: 3, OuterK: 24, InnerM: 1})
+	parLight := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.2, Seed: 3, OuterK: 3, InnerM: 8})
+	if parLight.MeanResponse >= seqLight.MeanResponse {
+		t.Fatalf("light load: parallel inner should win (par=%.4f seq=%.4f)",
+			parLight.MeanResponse, seqLight.MeanResponse)
+	}
+	// Heavy load: sequential inner (throughput mode) must win.
+	seqHeavy := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.95, Seed: 3, OuterK: 24, InnerM: 1})
+	parHeavy := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.95, Seed: 3, OuterK: 3, InnerM: 8})
+	if seqHeavy.MeanResponse >= parHeavy.MeanResponse {
+		t.Fatalf("heavy load: sequential inner should win (seq=%.4f par=%.4f)",
+			seqHeavy.MeanResponse, parHeavy.MeanResponse)
+	}
+}
+
+func TestOracleDominatesStatics(t *testing.T) {
+	model := Transcode()
+	for _, lf := range []float64{0.2, 0.5, 0.8, 0.95} {
+		oracle := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: lf, Seed: 4, Oracle: true})
+		seq := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: lf, Seed: 4, OuterK: 24, InnerM: 1})
+		par := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: lf, Seed: 4, OuterK: 3, InnerM: 8})
+		best := math.Min(seq.MeanResponse, par.MeanResponse)
+		if oracle.MeanResponse > best*1.10 {
+			t.Fatalf("lf=%.2f: oracle %.4f should dominate best static %.4f",
+				lf, oracle.MeanResponse, best)
+		}
+	}
+}
+
+// --- server DES with real mechanisms ----------------------------------------
+
+func TestWQLinearBeatsStaticsAcrossLoads(t *testing.T) {
+	model := Transcode()
+	worstExcess := 0.0
+	for _, lf := range []float64{0.2, 0.5, 0.8, 0.95} {
+		m := &mechanism.WQLinear{Threads: 24, Mmax: 8, Mmin: 1, Qmax: 14}
+		dyn := RunServer(model, ServerConfig{
+			Tasks: 500, LoadFactor: lf, Seed: 5, Mechanism: m,
+			ControlEvery: 0.01, OuterK: 3, InnerM: 8,
+		})
+		seq := RunServer(model, ServerConfig{Tasks: 500, LoadFactor: lf, Seed: 5, OuterK: 24, InnerM: 1})
+		par := RunServer(model, ServerConfig{Tasks: 500, LoadFactor: lf, Seed: 5, OuterK: 3, InnerM: 8})
+		best := math.Min(seq.MeanResponse, par.MeanResponse)
+		worst := math.Max(seq.MeanResponse, par.MeanResponse)
+		excess := dyn.MeanResponse/best - 1
+		if excess > worstExcess {
+			worstExcess = excess
+		}
+		// At every load the adaptive curve must clearly beat the WRONG
+		// static choice — the defining property of Figure 11.
+		if dyn.MeanResponse > worst*0.85 {
+			t.Fatalf("lf=%.2f: WQ-Linear %.4f does not separate from the worse static %.4f",
+				lf, dyn.MeanResponse, worst)
+		}
+	}
+	// And it must track the best static closely across the whole range
+	// (the paper shows it dominating; the DES concedes a small margin to
+	// control-loop lag).
+	if worstExcess > 0.12 {
+		t.Fatalf("WQ-Linear falls %.0f%% behind the best static", worstExcess*100)
+	}
+}
+
+func TestWQTHAdaptsUnderLoad(t *testing.T) {
+	model := Transcode()
+	m := &mechanism.WQTH{Threads: 24, Mmax: 8, Threshold: 6}
+	res := RunServer(model, ServerConfig{
+		Tasks: 400, LoadFactor: 0.9, Seed: 6, Mechanism: m,
+		OuterK: 3, InnerM: 8, // start in latency mode; heavy load must flip it
+	})
+	if res.Reconfigurations == 0 {
+		t.Fatal("WQT-H never reconfigured under heavy load")
+	}
+}
+
+// --- pipeline DES: Figures 13–15 shapes -------------------------------------
+
+func TestPipelineBatchBasics(t *testing.T) {
+	model := Ferret()
+	res := RunPipeline(model, PipelineConfig{Tasks: 300, Extents: []int{1, 1, 1, 1, 1, 1}})
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	balanced := RunPipeline(model, PipelineConfig{Tasks: 300, Extents: []int{1, 2, 4, 6, 8, 1}})
+	if balanced.Throughput <= res.Throughput {
+		t.Fatalf("balanced extents should beat all-ones: %.1f vs %.1f",
+			balanced.Throughput, res.Throughput)
+	}
+}
+
+// table5 runs the Figure 15 rows for a pipeline model and returns steady
+// throughputs keyed by row name. evenExtents is the Pthreads-Baseline
+// static distribution.
+func table5(model *PipelineModel, evenExtents []int) map[string]float64 {
+	const tasks = 3000
+	ones := make([]int, len(model.StageTimes))
+	for i := range ones {
+		ones[i] = 1
+	}
+	run := func(cfg PipelineConfig) float64 {
+		cfg.Tasks = tasks
+		return RunPipeline(model, cfg).SteadyThroughput
+	}
+	return map[string]float64{
+		"baseline": run(PipelineConfig{Extents: evenExtents}),
+		"os":       run(PipelineConfig{Extents: evenExtents, Oversubscribed: true}),
+		"seda": run(PipelineConfig{ControlEvery: 0.02, Extents: ones,
+			Mechanism: &mechanism.SEDA{HighWater: 8, LowWater: 1, PerStageCap: 24}}),
+		"fdp": run(PipelineConfig{ControlEvery: 0.02, Extents: ones,
+			Mechanism: &mechanism.FDP{Threads: 24}}),
+		"tb": run(PipelineConfig{ControlEvery: 0.02, Extents: ones,
+			Mechanism: &mechanism.TBF{Threads: 24, DisableFusion: true}}),
+		"tbf": run(PipelineConfig{ControlEvery: 0.02, Extents: ones,
+			Mechanism: &mechanism.TBF{Threads: 24}}),
+	}
+}
+
+func TestTable5Ordering(t *testing.T) {
+	rows := table5(Ferret(), []int{1, 5, 5, 5, 6, 1})
+	base := rows["baseline"]
+	// Every DoPE mechanism must improve on the even-static baseline.
+	for _, name := range []string{"seda", "fdp", "tb", "tbf"} {
+		if rows[name] <= base {
+			t.Fatalf("ferret %s %.0f should beat baseline %.0f", name, rows[name], base)
+		}
+	}
+	// TBF outperforms all other mechanisms (§8.2.2), and in particular TB —
+	// that gap is the benefit of explicit task fusion.
+	for _, name := range []string{"os", "seda", "fdp", "tb"} {
+		if rows["tbf"] < rows[name] {
+			t.Fatalf("ferret TBF %.0f should outperform %s %.0f", rows["tbf"], name, rows[name])
+		}
+	}
+	// Pthreads-OS improves substantially over the even baseline for ferret
+	// (paper: 2.12×).
+	if r := rows["os"] / base; r < 1.5 || r > 3.0 {
+		t.Fatalf("ferret OS ratio = %.2f, expected ≈2.1", r)
+	}
+
+	// dedup: OS oversubscription LOSES to the baseline (paper: 0.89×),
+	// while TBF still wins big through fusion.
+	drows := table5(Dedup(), []int{1, 10, 11, 1})
+	dbase := drows["baseline"]
+	if drows["os"] >= dbase {
+		t.Fatalf("dedup OS %.0f should lose to baseline %.0f", drows["os"], dbase)
+	}
+	if drows["tbf"] <= dbase {
+		t.Fatalf("dedup TBF %.0f should beat baseline %.0f", drows["tbf"], dbase)
+	}
+	// Headline claim: DoPE improved the two batch applications' throughput
+	// by 136% geomean over their original parallelizations (§1). Accept a
+	// generous band around 2.36×.
+	geomean := math.Sqrt((rows["tbf"] / base) * (drows["tbf"] / dbase))
+	if geomean < 1.8 || geomean > 3.2 {
+		t.Fatalf("geomean TBF gain = %.2f×, paper reports 2.36×", geomean)
+	}
+}
+
+func TestFig13TBFStabilizes(t *testing.T) {
+	model := Ferret()
+	res := RunPipeline(model, PipelineConfig{
+		Tasks: 3000, Mechanism: &mechanism.TBF{Threads: 24},
+		Extents: []int{1, 1, 1, 1, 1, 1}, SampleEvery: 0.05,
+	})
+	if len(res.Samples) < 6 {
+		t.Fatalf("too few samples: %d", len(res.Samples))
+	}
+	// Figure 13's shape: a low initial search phase, then a stable plateau
+	// well above it. The final sample may dip (batch drain), so compare
+	// the steady-state rate against the first window.
+	first := res.Samples[0].Throughput
+	if res.SteadyThroughput < 2*first {
+		t.Fatalf("no stabilization: first window %.0f, steady %.0f",
+			first, res.SteadyThroughput)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatal("TBF never searched the configuration space")
+	}
+}
+
+func TestFig14TPCHoldsPowerBudget(t *testing.T) {
+	model := Ferret()
+	budget := 0.9 * 800.0 // 90% of peak, as in §8.2.3
+	res := RunPipeline(model, PipelineConfig{
+		Tasks:       800,
+		Mechanism:   &mechanism.TPC{Threads: 24, Budget: budget},
+		Extents:     []int{1, 1, 1, 1, 1, 1},
+		PowerBudget: budget, SampleEvery: 0.1,
+	})
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// After the ramp the controller must keep measured power near or below
+	// the budget; allow the transient excursions the paper also shows.
+	over := 0
+	for _, p := range res.Samples[len(res.Samples)/2:] {
+		if p.Power > budget*1.05 {
+			over++
+		}
+	}
+	if over > len(res.Samples)/4 {
+		t.Fatalf("power budget persistently exceeded (%d late samples over)", over)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput under power cap")
+	}
+}
+
+func TestFig12LoadProportionalBeatsEvenStatic(t *testing.T) {
+	// Figure 12: ferret's even static distribution starves the rank stage;
+	// DoPE's load-proportional allocation achieves a much better response
+	// time characteristic.
+	model := Ferret()
+	even := RunPipeline(model, PipelineConfig{
+		Tasks: 2000, LoadFactor: 0.6, Seed: 7, Extents: []int{1, 5, 5, 5, 6, 1},
+	})
+	dope := RunPipeline(model, PipelineConfig{
+		Tasks: 2000, LoadFactor: 0.6, Seed: 7, ControlEvery: 0.02,
+		Mechanism: &mechanism.LoadProportional{Threads: 24},
+		Extents:   []int{1, 5, 5, 5, 6, 1},
+	})
+	if dope.MeanResponse <= 0 || even.MeanResponse <= 0 {
+		t.Fatal("missing response times")
+	}
+	if dope.MeanResponse >= even.MeanResponse {
+		t.Fatalf("load-proportional %.4f should beat even static %.4f",
+			dope.MeanResponse, even.MeanResponse)
+	}
+}
+
+func TestPipelineConservation(t *testing.T) {
+	// Every submitted item completes exactly once, whatever the mechanism
+	// does, including alternative switches.
+	model := Dedup()
+	res := RunPipeline(model, PipelineConfig{
+		Tasks: 250, Mechanism: &mechanism.TBF{Threads: 24},
+		Extents: []int{1, 1, 1, 1},
+	})
+	if res.Throughput <= 0 {
+		t.Fatal("no completions")
+	}
+	// Throughput = completed/lastAt; completed==Tasks is implied by loop
+	// termination, but double-check via response count.
+	res2 := RunPipeline(model, PipelineConfig{Tasks: 123, Extents: []int{1, 2, 3, 1}})
+	if got := res2.MeanResponse; got <= 0 {
+		t.Fatal("response accounting lost items")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	model := Transcode()
+	a := RunServer(model, ServerConfig{Tasks: 200, LoadFactor: 0.7, Seed: 42, OuterK: 24, InnerM: 1})
+	b := RunServer(model, ServerConfig{Tasks: 200, LoadFactor: 0.7, Seed: 42, OuterK: 24, InnerM: 1})
+	if a.MeanResponse != b.MeanResponse || a.Throughput != b.Throughput {
+		t.Fatal("server sim must be deterministic for equal seeds")
+	}
+	p := Ferret()
+	x := RunPipeline(p, PipelineConfig{Tasks: 200, LoadFactor: 0.5, Seed: 9, Extents: []int{1, 2, 2, 2, 2, 1}})
+	y := RunPipeline(p, PipelineConfig{Tasks: 200, LoadFactor: 0.5, Seed: 9, Extents: []int{1, 2, 2, 2, 2, 1}})
+	if x.MeanResponse != y.MeanResponse {
+		t.Fatal("pipeline sim must be deterministic for equal seeds")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPipelineEnergyAccounting(t *testing.T) {
+	model := Ferret()
+	res := RunPipeline(model, PipelineConfig{
+		Tasks: 300, Extents: []int{1, 2, 3, 5, 10, 1}, PowerBudget: 1,
+	})
+	if res.EnergyJ <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	// Energy is bounded by idle and peak draw over the busy period.
+	duration := float64(300) / res.Throughput
+	if res.EnergyJ < 0.9*600*duration || res.EnergyJ > 1.1*800*duration {
+		t.Fatalf("energy %v J outside [idle, peak] × duration (%v s)", res.EnergyJ, duration)
+	}
+	// A slower configuration must consume more total energy for the same
+	// work (longer at >= idle draw).
+	slow := RunPipeline(model, PipelineConfig{
+		Tasks: 300, Extents: []int{1, 1, 1, 1, 1, 1}, PowerBudget: 1,
+	})
+	if slow.EnergyJ <= res.EnergyJ {
+		t.Fatalf("all-ones energy %v should exceed balanced %v", slow.EnergyJ, res.EnergyJ)
+	}
+}
+
+func TestServerSizeJitter(t *testing.T) {
+	model := Transcode()
+	smooth := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.4, Seed: 9, OuterK: 24, InnerM: 1})
+	jittery := RunServer(model, ServerConfig{Tasks: 300, LoadFactor: 0.4, Seed: 9, OuterK: 24, InnerM: 1, SizeJitter: 0.4})
+	// Without jitter every execution is identical; with jitter the mean
+	// stays near nominal but the P95 spreads upward.
+	if smooth.P95Response <= smooth.MeanExec*0.99 {
+		t.Fatalf("smooth p95 = %v below exec %v", smooth.P95Response, smooth.MeanExec)
+	}
+	if jittery.P95Response <= smooth.P95Response {
+		t.Fatalf("jitter should widen the tail: %v vs %v", jittery.P95Response, smooth.P95Response)
+	}
+	if math.Abs(jittery.MeanExec-smooth.MeanExec) > 0.15*smooth.MeanExec {
+		t.Fatalf("jitter moved the mean too far: %v vs %v", jittery.MeanExec, smooth.MeanExec)
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// ready for use; construct with NewEWMA. Alpha in (0, 1] weights the newest
+// observation: higher alpha reacts faster, lower alpha smooths more.
+//
+// EWMA is the estimator DoPE's monitors use for per-task execution time and
+// throughput (the paper's mechanisms consume "a moving average of the
+// throughput ... of each task", §7.2). It is not safe for concurrent use;
+// callers serialize access.
+type EWMA struct {
+	alpha float64
+	value float64
+	n     uint64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha outside
+// (0, 1] is clamped into the interval.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds x into the average. The first observation seeds the average
+// exactly, so a freshly constructed EWMA is unbiased for a constant signal.
+func (e *EWMA) Observe(x float64) {
+	e.n++
+	if e.n == 1 {
+		e.value = x
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns how many observations have been folded in.
+func (e *EWMA) Count() uint64 { return e.n }
+
+// Reset discards all state, as if freshly constructed.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.n = 0
+}

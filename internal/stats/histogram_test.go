@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantBuckets := []uint64{2, 1, 1, 0, 1}
+	for i, want := range wantBuckets {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(-5)
+	h.Observe(2)
+	h.Observe(1) // hi is exclusive
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Errorf("under=%d over=%d", h.Underflow(), h.Overflow())
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 0.3, 3)
+	h.Observe(0.3 - 1e-16) // float noise must not index past the last bucket
+	if h.Count() != 1 {
+		t.Fatal("observation lost")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	q50 := h.Quantile(0.5)
+	if math.Abs(q50-50) > 1.5 {
+		t.Errorf("q50 = %v", q50)
+	}
+	q0 := h.Quantile(0)
+	if q0 > 1 {
+		t.Errorf("q0 = %v", q0)
+	}
+	if !math.IsNaN(NewHistogram(0, 1, 1).Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(5)
+	if q := h.Quantile(-1); q > 10 || q < 0 {
+		t.Errorf("q(-1) = %v", q)
+	}
+	if q := h.Quantile(2); q > 10 || q < 0 {
+		t.Errorf("q(2) = %v", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero buckets", func() { NewHistogram(0, 1, 0) })
+	mustPanic("empty range", func() { NewHistogram(1, 1, 4) })
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Observe(0.5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("expected a bar in %q", s)
+	}
+}
+
+// Property: total count equals buckets + underflow + overflow.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-10, 10, 7)
+		n := uint64(0)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(x)
+			n++
+		}
+		var inRange uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			inRange += h.Bucket(i)
+		}
+		return h.Count() == n && inRange+h.Underflow()+h.Overflow() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

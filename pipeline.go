@@ -1,0 +1,218 @@
+package dope
+
+import (
+	"time"
+
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// This file provides a generic builder for the most common parallelism
+// shape: a linear pipeline over a stream of items. The paper notes that
+// "the process of defining the functors is mechanical — it can be
+// simplified with compiler support" (§3.1); ChannelPipeline is that
+// mechanical transformation as a library: it wires the inter-stage queues,
+// the suspension-aware head, the Fini drain cascade, and the LoadCBs, so an
+// application supplies only its per-stage transforms.
+
+// PipeStage describes one stage of a built pipeline.
+type PipeStage[T any] struct {
+	// Name identifies the stage for monitoring and configuration.
+	Name string
+	// Par marks the stage parallelizable (DoPE may assign it any extent).
+	Par bool
+	// MinDoP and MaxDoP bound the extent when Par (both optional).
+	MinDoP, MaxDoP int
+	// Fn transforms one item. extent is the stage's current DoP extent,
+	// for workloads whose per-item cost depends on coordination width.
+	// It runs inside the monitored CPU section (Begin/End).
+	Fn func(item T, extent int) T
+}
+
+// PipelineOptions tune a built pipeline.
+type PipelineOptions struct {
+	// QueueCap bounds each inter-stage queue (default 8). Small caps keep
+	// reconfiguration drains cheap and load signals honest.
+	QueueCap int
+	// Poll is the head stage's suspension-check interval while idle
+	// (default 200µs).
+	Poll time.Duration
+	// Fused, when true, also declares a fused alternative that runs all
+	// stages back to back in one parallel task — the TaskDescriptor choice
+	// TBF's task fusion needs.
+	Fused bool
+}
+
+// ChannelPipeline builds a NestSpec for a linear pipeline consuming items
+// from src. The stream ends when src is closed and drained. done, if
+// non-nil, observes each item leaving the last stage (completion
+// accounting). The returned spec follows the drain protocol: on
+// reconfiguration only the head stops pulling from src; in-flight items
+// complete through the remaining stages before the pipeline respawns, so
+// no item is ever lost or duplicated.
+//
+// The builder is the mechanical equivalent of the hand-written ports in
+// internal/apps; use those as references when a loop needs structure this
+// shape cannot express (nested loops, non-linear topologies).
+func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], done func(T), opts PipelineOptions) *NestSpec {
+	if len(stages) == 0 {
+		// Return a spec that fails validation, so Create reports the
+		// mistake instead of this function panicking.
+		return &NestSpec{Name: name}
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 8
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Microsecond
+	}
+	// Persistent inter-stage queues: qs[i] feeds stage i+1.
+	n := len(stages)
+	qs := make([]*queue.Queue[T], n-1)
+	for i := range qs {
+		qs[i] = queue.New[T](opts.QueueCap)
+	}
+
+	specStages := make([]core.StageSpec, n)
+	for i, st := range stages {
+		t := core.SEQ
+		if st.Par {
+			t = core.PAR
+		}
+		specStages[i] = core.StageSpec{
+			Name: st.Name, Type: t, MinDoP: st.MinDoP, MaxDoP: st.MaxDoP,
+		}
+	}
+
+	// recvSrc performs a suspension-aware receive from the source channel.
+	recvSrc := func(w *Worker) (T, bool, bool) {
+		var zero T
+		for {
+			select {
+			case v, ok := <-src:
+				if !ok {
+					return zero, false, true // stream ended
+				}
+				return v, true, false
+			default:
+			}
+			if w.Suspending() {
+				return zero, false, false
+			}
+			// Blocking receive with a poll bound so suspension stays
+			// observable.
+			select {
+			case v, ok := <-src:
+				if !ok {
+					return zero, false, true
+				}
+				return v, true, false
+			case <-time.After(opts.Poll):
+			}
+		}
+	}
+
+	pipelineAlt := &core.AltSpec{
+		Name:   "pipeline",
+		Stages: specStages,
+		Make: func(item any) (*core.AltInstance, error) {
+			for _, q := range qs {
+				q.Reopen()
+			}
+			inst := &core.AltInstance{Stages: make([]core.StageFns, n)}
+			for i := range stages {
+				i := i
+				fn := stages[i].Fn
+				var in *queue.Queue[T]
+				if i > 0 {
+					in = qs[i-1]
+				}
+				var out *queue.Queue[T]
+				if i < n-1 {
+					out = qs[i]
+				}
+				sf := core.StageFns{}
+				if i == 0 {
+					sf.Fn = func(w *Worker) Status {
+						if w.Suspending() {
+							return Suspended
+						}
+						v, ok, closed := recvSrc(w)
+						if closed {
+							return Finished
+						}
+						if !ok {
+							return Suspended
+						}
+						w.Begin()
+						v = fn(v, w.Extent())
+						w.End()
+						if out != nil {
+							out.Enqueue(v)
+						} else if done != nil {
+							done(v)
+						}
+						return Executing
+					}
+				} else {
+					sf.Fn = func(w *Worker) Status {
+						v, err := in.Dequeue()
+						if err != nil {
+							return Finished
+						}
+						w.Begin()
+						v = fn(v, w.Extent())
+						w.End()
+						if out != nil {
+							out.Enqueue(v)
+						} else if done != nil {
+							done(v)
+						}
+						return Executing
+					}
+					q := in
+					sf.Load = func() float64 { return float64(q.Len()) }
+				}
+				if out != nil {
+					sf.Fini = out.Close
+				}
+				inst.Stages[i] = sf
+			}
+			return inst, nil
+		},
+	}
+
+	alts := []*core.AltSpec{pipelineAlt}
+	if opts.Fused {
+		alts = append(alts, &core.AltSpec{
+			Name:   "fused",
+			Stages: []core.StageSpec{{Name: "fused", Type: core.PAR}},
+			Make: func(item any) (*core.AltInstance, error) {
+				return &core.AltInstance{Stages: []core.StageFns{{
+					Fn: func(w *Worker) Status {
+						if w.Suspending() {
+							return Suspended
+						}
+						v, ok, closed := recvSrc(w)
+						if closed {
+							return Finished
+						}
+						if !ok {
+							return Suspended
+						}
+						w.Begin()
+						for _, st := range stages {
+							v = st.Fn(v, w.Extent())
+						}
+						w.End()
+						if done != nil {
+							done(v)
+						}
+						return Executing
+					},
+				}}}, nil
+			},
+		})
+	}
+	return &NestSpec{Name: name, Alts: alts}
+}

@@ -1,0 +1,174 @@
+package dope_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope"
+)
+
+// buildStages returns a 3-stage integer pipeline with a heavy middle stage.
+func buildStages(mid *atomic.Int64) []dope.PipeStage[int] {
+	return []dope.PipeStage[int]{
+		{Name: "parse", Fn: func(v, extent int) int { return v + 1 }},
+		{Name: "work", Par: true, Fn: func(v, extent int) int {
+			time.Sleep(300 * time.Microsecond)
+			mid.Add(1)
+			return v * 2
+		}},
+		{Name: "emit", Fn: func(v, extent int) int { return v }},
+	}
+}
+
+func TestChannelPipelineProcessesAll(t *testing.T) {
+	src := make(chan int, 64)
+	var mid atomic.Int64
+	var out []int
+	var outMu atomic.Int64
+	spec := dope.ChannelPipeline("calc", src, buildStages(&mid), func(v int) {
+		out = append(out, v) // emit stage is SEQ: single writer
+		outMu.Add(1)
+	}, dope.PipelineOptions{})
+	d, err := dope.Create(spec, dope.StaticGoal(4),
+		dope.WithInitialConfig(&dope.Config{Alt: 0, Extents: []int{1, 2, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		src <- i
+	}
+	close(src)
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if mid.Load() != 40 || outMu.Load() != 40 {
+		t.Fatalf("processed mid=%d out=%d, want 40", mid.Load(), outMu.Load())
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate output %d", v)
+		}
+		seen[v] = true
+		// (i+1)*2 for i in [0,40)
+		if v%2 != 0 || v < 2 || v > 80 {
+			t.Fatalf("unexpected output %d", v)
+		}
+	}
+}
+
+func TestChannelPipelineAdaptsUnderTBF(t *testing.T) {
+	src := make(chan int, 256)
+	var mid atomic.Int64
+	spec := dope.ChannelPipeline("calc", src, buildStages(&mid), nil,
+		dope.PipelineOptions{Fused: true})
+	d, err := dope.Create(spec, dope.MaxThroughput(8),
+		dope.WithControlInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		src <- i
+	}
+	close(src)
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if mid.Load() != 300 && d.CurrentConfig().Alt == 0 {
+		t.Fatalf("pipeline processed %d of 300", mid.Load())
+	}
+	if d.Reconfigurations() == 0 {
+		t.Fatal("TBF never adapted the built pipeline")
+	}
+}
+
+func TestChannelPipelineSurvivesReconfiguration(t *testing.T) {
+	src := make(chan int, 512)
+	var mid atomic.Int64
+	var done atomic.Int64
+	spec := dope.ChannelPipeline("calc", src, buildStages(&mid), func(int) {
+		done.Add(1)
+	}, dope.PipelineOptions{QueueCap: 4})
+	d, err := dope.Create(spec, dope.StaticGoal(8),
+		dope.WithInitialConfig(&dope.Config{Alt: 0, Extents: []int{1, 1, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		src <- i
+	}
+	time.Sleep(10 * time.Millisecond)
+	// Root-level change with items in flight.
+	d.SetConfig(&dope.Config{Alt: 0, Extents: []int{1, 4, 1}})
+	for i := 100; i < 200; i++ {
+		src <- i
+	}
+	close(src)
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 200 {
+		t.Fatalf("completed %d of 200 across reconfiguration", done.Load())
+	}
+	if d.Suspensions() == 0 {
+		t.Fatal("expected a suspension cycle")
+	}
+}
+
+func TestChannelPipelineFusedAlternative(t *testing.T) {
+	src := make(chan int, 64)
+	var mid atomic.Int64
+	var done atomic.Int64
+	spec := dope.ChannelPipeline("calc", src, buildStages(&mid), func(int) {
+		done.Add(1)
+	}, dope.PipelineOptions{Fused: true})
+	d, err := dope.Create(spec, dope.StaticGoal(4),
+		dope.WithInitialConfig(&dope.Config{Alt: 1, Extents: []int{3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		src <- i
+	}
+	close(src)
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 30 {
+		t.Fatalf("fused completed %d of 30", done.Load())
+	}
+}
+
+func TestChannelPipelineExtentVisible(t *testing.T) {
+	src := make(chan int, 8)
+	var sawExtent atomic.Int64
+	stages := []dope.PipeStage[int]{
+		{Name: "only", Par: true, MinDoP: 2, Fn: func(v, extent int) int {
+			sawExtent.Store(int64(extent))
+			return v
+		}},
+	}
+	spec := dope.ChannelPipeline("x", src, stages, nil, dope.PipelineOptions{})
+	d, err := dope.Create(spec, dope.StaticGoal(4),
+		dope.WithInitialConfig(&dope.Config{Alt: 0, Extents: []int{3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src <- 1
+	close(src)
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if sawExtent.Load() != 3 {
+		t.Fatalf("stage saw extent %d, want 3", sawExtent.Load())
+	}
+}
+
+func TestChannelPipelineRejectsEmptyStages(t *testing.T) {
+	src := make(chan int)
+	spec := dope.ChannelPipeline[int]("empty", src, nil, nil, dope.PipelineOptions{})
+	if _, err := dope.Create(spec, dope.StaticGoal(2)); err == nil {
+		t.Fatal("zero-stage pipeline accepted")
+	}
+}
