@@ -113,6 +113,25 @@ func BenchmarkTable4(b *testing.B) {
 	runExperiment(b, "table4")
 }
 
+// BenchmarkReconfigDip measures the live reconfiguration cost: forced extent
+// toggles on a running ferret batch under in-place worker-group resizing vs
+// the legacy whole-nest respawn, plus the simulator's view of the same A/B.
+func BenchmarkReconfigDip(b *testing.B) {
+	runExperiment(b, "reconfig-dip")
+	run := func(respawn bool) sim.PipelineResult {
+		return sim.RunPipeline(sim.Ferret(), sim.PipelineConfig{
+			Tasks: 1500, ControlEvery: 0.02,
+			Mechanism:  &mechanism.TBF{Threads: 24, DisableFusion: true},
+			Extents:    []int{1, 1, 1, 1, 1, 1},
+			ResizeCost: 0.002, DrainCost: 0.05, RespawnOnResize: respawn,
+		})
+	}
+	// Whole-run throughput, not steady-state: the drain penalty lands in the
+	// mechanism's search transient.
+	b.ReportMetric(run(false).Throughput, "inplace-q/s")
+	b.ReportMetric(run(true).Throughput, "respawn-q/s")
+}
+
 // --- ablations of design choices (DESIGN.md) --------------------------------
 
 // BenchmarkAblationHysteresis sweeps WQT-H's hysteresis lengths: too little

@@ -52,6 +52,9 @@ func main() {
 			case dope.EventReconfigure:
 				fmt.Printf("%8.3fs reconfigure (%s): %s\n",
 					time.Since(start).Seconds(), ev.Mechanism, ev.Config)
+			case dope.EventResize:
+				fmt.Printf("%8.3fs resize %s: %d -> %d workers in place\n",
+					time.Since(start).Seconds(), ev.Stage, ev.FromExtent, ev.ToExtent)
 			case dope.EventSuspend:
 				fmt.Printf("%8.3fs suspend: draining top-level tasks\n", time.Since(start).Seconds())
 			case dope.EventResume:

@@ -101,6 +101,7 @@ const (
 // Event kinds.
 const (
 	EventReconfigure = core.EventReconfigure
+	EventResize      = core.EventResize
 	EventSuspend     = core.EventSuspend
 	EventResume      = core.EventResume
 	EventFinish      = core.EventFinish
@@ -130,6 +131,9 @@ var (
 	WithInitialConfig = core.WithInitialConfig
 	// WithFeatures installs a caller-owned feature registry.
 	WithFeatures = core.WithFeatures
+	// WithWholeNestRespawn restores the legacy suspend-on-any-root-change
+	// behavior (A/B baseline for in-place resizing).
+	WithWholeNestRespawn = core.WithWholeNestRespawn
 )
 
 // DefaultConfig returns alternative 0 with extent 1 everywhere.

@@ -7,11 +7,13 @@
 //
 //	GET  /report     the current monitoring snapshot (replay.Entry shape)
 //	GET  /config     the active parallelism configuration
-//	PUT  /config     install a configuration (normalized; may suspend)
+//	PUT  /config     install a configuration (normalized; extent changes
+//	                 resize stages in place, alternative switches suspend)
 //	GET  /mechanism  {"name": "..."} of the active mechanism, or null
 //	PUT  /mechanism  {"name": "tbf"} switch mechanisms by registered name;
 //	                 {"name": "static"} freezes the current configuration
-//	GET  /stats      executive counters (uptime, reconfigurations, ...)
+//	GET  /stats      executive counters (uptime, reconfigurations,
+//	                 suspensions, in-place resizes, ...)
 package admin
 
 import (
@@ -158,6 +160,7 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		"uptimeSec":        h.exec.Uptime().Seconds(),
 		"reconfigurations": h.exec.Reconfigurations(),
 		"suspensions":      h.exec.Suspensions(),
+		"resizes":          h.exec.Resizes(),
 		"contexts":         h.exec.Contexts().N(),
 		"busyContexts":     h.exec.Contexts().Busy(),
 		"peakContexts":     h.exec.Contexts().Peak(),

@@ -218,6 +218,13 @@ func TestStatsEndpointAndMethodChecks(t *testing.T) {
 	if stats["contexts"].(float64) != 8 {
 		t.Fatalf("stats = %v", stats)
 	}
+	// Reconfiguration accounting is exposed: suspensions (whole-nest
+	// respawns) and resizes (in-place worker-group changes) separately.
+	for _, k := range []string{"reconfigurations", "suspensions", "resizes"} {
+		if _, ok := stats[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, stats)
+		}
+	}
 	// Method checks.
 	resp, err := http.Post(srv.URL+"/report", "application/json", strings.NewReader("{}"))
 	if err != nil {

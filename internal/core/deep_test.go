@@ -210,9 +210,12 @@ func TestUndeclaredNestRunsWithDefaults(t *testing.T) {
 // --- chaos: random reconfiguration storm ----------------------------------------
 
 func TestChaosReconfigurationConservesWork(t *testing.T) {
+	// A storm of random extent changes and alternative flips: the extent
+	// changes exercise in-place worker-group resizes, the alternative flips
+	// exercise the suspend→drain→respawn protocol, and the two interleave.
 	work := queue.New[int](0)
 	var processed atomic.Int64
-	spec := doallSpec(work, &processed)
+	spec := twoAltDoallSpec(work, &processed)
 	e, err := New(spec, WithContexts(8),
 		WithInitialConfig(&Config{Alt: 0, Extents: []int{2}}))
 	if err != nil {
@@ -227,7 +230,11 @@ func TestChaosReconfigurationConservesWork(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 25; i++ {
-			e.SetConfig(&Config{Alt: 0, Extents: []int{rng.Intn(8) + 1}})
+			alt := 0
+			if i%5 == 4 { // every fifth change flips the alternative
+				alt = (i / 5) % 2
+			}
+			e.SetConfig(&Config{Alt: alt, Extents: []int{rng.Intn(8) + 1}})
 			time.Sleep(time.Millisecond)
 		}
 	}()
@@ -246,7 +253,10 @@ func TestChaosReconfigurationConservesWork(t *testing.T) {
 		t.Fatalf("processed %d of %d under reconfiguration storm", processed.Load(), items)
 	}
 	if e.Suspensions() == 0 {
-		t.Fatal("storm caused no suspensions")
+		t.Fatal("alternative flips caused no suspensions")
+	}
+	if e.Resizes() == 0 {
+		t.Fatal("extent changes caused no in-place resizes")
 	}
 }
 

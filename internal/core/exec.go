@@ -28,6 +28,13 @@ type Exec struct {
 	mechMu sync.RWMutex
 	mech   Mechanism
 
+	// installMu serializes configuration installs (SetConfig vs. control
+	// tick vs. a second SetConfig) and the registration of a new run's
+	// worker groups, closing the load/compare/store and register/resize
+	// races.
+	installMu       sync.Mutex
+	respawnOnResize bool
+
 	cfg     atomic.Pointer[Config]
 	curRun  atomic.Pointer[run]
 	stop    atomic.Bool
@@ -43,17 +50,62 @@ type Exec struct {
 
 	reconfigs atomic.Uint64
 	suspends  atomic.Uint64
+	resizes   atomic.Uint64
 }
 
 // run is one suspension domain: the lifetime of one set of top-level task
-// instances between (re)spawns.
+// instances between (re)spawns. It holds the stage worker groups of the
+// top-level nest so that extent-only reconfigurations can resize stages in
+// place instead of suspending everything.
 type run struct {
 	suspend atomic.Bool
+
+	mu     sync.Mutex
+	groups []*workerGroup
 }
 
 func (r *run) suspending() bool { return r.suspend.Load() }
 
 func (r *run) requestSuspend() { r.suspend.Store(true) }
+
+// setGroups registers the top-level stage worker groups. Called with the
+// executive's installMu held so registration cannot interleave with a
+// resize.
+func (r *run) setGroups(gs []*workerGroup) {
+	r.mu.Lock()
+	r.groups = gs
+	r.mu.Unlock()
+}
+
+// resizeOp describes one in-place stage resize for counters and traces.
+type resizeOp struct {
+	stage    string
+	from, to int
+}
+
+// resize steers each registered group toward cfg's extents. Groups spawned
+// under a different alternative are skipped (an alternative change goes
+// through suspension, never through here), as is a run that is already
+// suspending — its slots are draining and will respawn under cfg anyway.
+func (r *run) resize(cfg *Config) []resizeOp {
+	if r.suspending() {
+		return nil
+	}
+	r.mu.Lock()
+	groups := r.groups
+	r.mu.Unlock()
+	var ops []resizeOp
+	for i, g := range groups {
+		if g.altIdx != cfg.Alt {
+			continue
+		}
+		want := g.st.clampExtent(cfg.Extent(i))
+		if from, changed := g.resize(want); changed {
+			ops = append(ops, resizeOp{stage: g.st.Name, from: from, to: want})
+		}
+	}
+	return ops
+}
 
 // Option configures an Exec.
 type Option func(*Exec)
@@ -125,6 +177,15 @@ func WithFeatures(f *platform.Features) Option {
 	}
 }
 
+// WithWholeNestRespawn restores the pre-worker-group behavior in which any
+// root-level change — extents included — suspends, drains, and respawns the
+// whole nest. It exists as the A/B baseline for measuring what in-place
+// resizing saves (the reconfig-dip experiment); applications should not
+// need it.
+func WithWholeNestRespawn() Option {
+	return func(e *Exec) { e.respawnOnResize = true }
+}
+
 // DefaultContexts is the size of the paper's evaluation platform.
 const DefaultContexts = 24
 
@@ -190,27 +251,65 @@ func (e *Exec) Reconfigurations() uint64 { return e.reconfigs.Load() }
 // Suspensions returns how many full suspend/respawn cycles have occurred.
 func (e *Exec) Suspensions() uint64 { return e.suspends.Load() }
 
+// Resizes returns how many in-place stage resizes have been applied (one
+// per stage whose extent changed, so a single reconfiguration may count
+// several). Extent-only mechanisms like WQ-Linear drive this counter up
+// while Suspensions stays flat.
+func (e *Exec) Resizes() uint64 { return e.resizes.Load() }
+
 // CurrentConfig returns a copy of the active configuration.
 func (e *Exec) CurrentConfig() *Config { return e.cfg.Load().Clone() }
 
-// SetConfig installs cfg (normalized) as the active configuration, applying
-// the suspension protocol if the root level changed. Experiments use this
-// to pin static configurations; mechanisms normally go through the control
-// loop instead.
+// SetConfig installs cfg (normalized) as the active configuration.
+// Extent-only changes resize the affected stages' worker groups in place;
+// an alternative switch goes through the suspension protocol. Experiments
+// use this to pin static configurations; mechanisms normally go through the
+// control loop instead.
 func (e *Exec) SetConfig(cfg *Config) {
 	if cfg == nil {
 		return
 	}
 	nc := cfg.Clone()
 	nc.Normalize(e.root)
+	e.install(nc, "")
+}
+
+// install makes nc the active configuration and applies the cheapest
+// reconfiguration protocol that realizes it: nothing beyond the store for
+// child-only changes, in-place worker-group resizes for root extent
+// changes, and suspend→drain→respawn only when the root alternative
+// changed (or WithWholeNestRespawn forces the legacy path). nc must already
+// be normalized and owned by the executive. Installs are serialized by
+// installMu so two concurrent callers cannot both compare against the same
+// stale configuration.
+func (e *Exec) install(nc *Config, mechName string) {
+	e.installMu.Lock()
 	old := e.cfg.Load()
 	if nc.Equal(old) {
+		e.installMu.Unlock()
 		return
 	}
 	e.cfg.Store(nc)
 	e.reconfigs.Add(1)
-	e.emit(Event{Kind: EventReconfigure, Config: nc.Clone()})
-	if rootLevelDiffers(old, nc) {
+	respawn := rootAltDiffers(old, nc) ||
+		(e.respawnOnResize && rootLevelDiffers(old, nc))
+	var ops []resizeOp
+	if !respawn {
+		if r := e.curRun.Load(); r != nil {
+			ops = r.resize(nc)
+		}
+	}
+	e.installMu.Unlock()
+	e.emit(Event{Kind: EventReconfigure, Config: nc.Clone(), Mechanism: mechName})
+	for _, op := range ops {
+		e.resizes.Add(1)
+		e.emit(Event{
+			Kind: EventResize, Stage: op.stage,
+			FromExtent: op.from, ToExtent: op.to,
+			Config: nc.Clone(), Mechanism: mechName,
+		})
+	}
+	if respawn {
 		e.suspendCurrent()
 	}
 }
@@ -328,14 +427,16 @@ func (e *Exec) SetMechanism(m Mechanism) {
 }
 
 // control periodically consults the mechanism and applies its decisions.
+// The ticker comes from the executive's clock, so under a VirtualClock the
+// control loop is driven deterministically by Advance/Set.
 func (e *Exec) control() {
-	ticker := time.NewTicker(e.interval)
+	ticker := e.clock.NewTicker(e.interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-e.ctrlCh:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		mech := e.Mechanism()
 		if mech == nil {
@@ -347,23 +448,25 @@ func (e *Exec) control() {
 			continue
 		}
 		newCfg.Normalize(e.root)
-		old := e.cfg.Load()
-		if newCfg.Equal(old) {
-			continue
-		}
-		e.cfg.Store(newCfg)
-		e.reconfigs.Add(1)
-		e.emit(Event{Kind: EventReconfigure, Config: newCfg.Clone(), Mechanism: mech.Name()})
-		if rootLevelDiffers(old, newCfg) {
-			e.suspendCurrent()
-		}
+		e.install(newCfg, mech.Name())
 	}
 }
 
+// rootAltDiffers reports whether the top-level alternative changed, which
+// swaps the stage set itself (fusion ↔ pipeline) and therefore requires the
+// full suspension protocol. Extent-only differences do not qualify: they
+// are absorbed by in-place worker-group resizes.
+func rootAltDiffers(a, b *Config) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	return a.Alt != b.Alt || len(a.Extents) != len(b.Extents)
+}
+
 // rootLevelDiffers reports whether the top-level alternative or extents
-// changed, which requires respawning the long-lived root task instances.
-// Child-only changes take effect at the next nested instantiation without
-// suspension.
+// changed. It survives as the trigger predicate for the legacy
+// WithWholeNestRespawn mode, where any root change respawns the long-lived
+// root task instances.
 func rootLevelDiffers(a, b *Config) bool {
 	if a == nil || b == nil {
 		return true
@@ -417,7 +520,11 @@ func findChildSpec(spec *NestSpec, name string) *NestSpec {
 }
 
 // runNest instantiates and executes one nest under the current
-// configuration and blocks until every stage has drained.
+// configuration and blocks until every stage's worker group has drained.
+// For the top-level nest the groups are registered with the run so that
+// later extent-only reconfigurations can resize them in place; nested
+// instances keep the paper's semantics of adapting at the next
+// instantiation.
 func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool) (Status, error) {
 	resolved, cfg := e.configAt(path)
 	if resolved != spec && resolved.Name != spec.Name {
@@ -436,77 +543,66 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 	}
 	nestName := strings.Join(path, "/")
 
-	suspended := false
-	var suspendedMu sync.Mutex
-	var nestWG sync.WaitGroup
-
+	groups := make([]*workerGroup, 0, len(alt.Stages))
+	releases := make([]func(), 0, len(alt.Stages))
 	for i := range alt.Stages {
 		st := &alt.Stages[i]
 		fns := inst.Stages[i]
 		if fns.Fn == nil {
+			for _, rel := range releases {
+				rel()
+			}
 			return Finished, fmt.Errorf("core: stage %q of nest %q has no functor", st.Name, spec.Name)
 		}
 		key := monitor.Key{Nest: nestName, Stage: st.Name}
-		stats := e.mon.Stage(key)
-		release := e.mon.RegisterLoad(key, fns.Load)
-		extent := st.clampExtent(cfg.Extent(i))
 		if fns.Init != nil {
 			fns.Init()
 		}
-		var stageWG sync.WaitGroup
-		for slot := 0; slot < extent; slot++ {
-			stageWG.Add(1)
-			go func(slot, extent int) {
-				defer stageWG.Done()
-				w := &Worker{
-					exec: e, run: r, key: key, stats: stats,
-					path: path, top: top, slot: slot, item: item,
-					extent: extent,
-				}
-				defer func() {
-					// A panicking functor must not take down the whole
-					// process (the paper's tasks are application code the
-					// runtime cannot vouch for): balance the CPU section,
-					// record the failure, and stop the run.
-					if p := recover(); p != nil {
-						if w.holding {
-							w.End()
-						}
-						e.recordTaskPanic(key, p)
-					}
-				}()
-				for {
-					status := fns.Fn(w)
-					if w.holding {
-						// The functor returned without closing its CPU
-						// section; balance it so the context is not leaked.
-						w.End()
-					}
-					if status != Executing {
-						if status == Suspended {
-							suspendedMu.Lock()
-							suspended = true
-							suspendedMu.Unlock()
-						}
-						return
-					}
-				}
-			}(slot, extent)
+		groups = append(groups, &workerGroup{
+			exec: e, r: r, key: key, stats: e.mon.Stage(key),
+			st: st, fns: fns, path: path, top: top, item: item,
+			altIdx: cfg.Alt,
+			target: st.clampExtent(cfg.Extent(i)),
+			done:   make(chan struct{}),
+		})
+		releases = append(releases, e.mon.RegisterLoad(key, fns.Load))
+	}
+	if top {
+		// Register the groups and re-resolve the extents under the install
+		// lock: a SetConfig between configAt above and this point found no
+		// groups to resize, so its extents must be adopted here or the
+		// change would be lost until the next reconfiguration.
+		e.installMu.Lock()
+		if cur := e.cfg.Load(); cur != nil && cur.Alt == cfg.Alt {
+			for i, g := range groups {
+				g.setTarget(g.st.clampExtent(cur.Extent(i)))
+			}
 		}
+		r.setGroups(groups)
+		e.installMu.Unlock()
+	}
+	for _, g := range groups {
+		g.start()
+	}
+
+	var nestWG sync.WaitGroup
+	for i, g := range groups {
 		nestWG.Add(1)
-		go func(fini func(), release func(), stats *monitor.StageStats, wg *sync.WaitGroup) {
+		go func(g *workerGroup, fini, release func()) {
 			defer nestWG.Done()
-			wg.Wait()
+			g.wait()
 			if fini != nil {
 				fini()
 			}
 			release()
-			stats.ObserveInstanceDone()
-		}(fns.Fini, release, stats, &stageWG)
+			g.stats.ObserveInstanceDone()
+		}(g, inst.Stages[i].Fini, releases[i])
 	}
 	nestWG.Wait()
-	if suspended {
-		return Suspended, nil
+	for _, g := range groups {
+		if g.suspended() {
+			return Suspended, nil
+		}
 	}
 	return Finished, nil
 }

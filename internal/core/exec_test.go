@@ -323,10 +323,42 @@ func TestNestedAltSwitchWithoutSuspension(t *testing.T) {
 	}
 }
 
-func TestRootReconfigurationSuspendsAndResumes(t *testing.T) {
+// twoAltDoallSpec is doallSpec with a second, behaviorally identical
+// alternative, so tests can trigger the one root-level change that still
+// requires the full suspension protocol: an alternative switch.
+func twoAltDoallSpec(work *queue.Queue[int], processed *atomic.Int64) *NestSpec {
+	mk := func(item any) (*AltInstance, error) {
+		return &AltInstance{Stages: []StageFns{{
+			Fn: func(w *Worker) Status {
+				if w.Suspending() {
+					return Suspended
+				}
+				v, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+				if errors.Is(err, queue.ErrClosed) {
+					return Finished
+				}
+				if !ok {
+					return Suspended
+				}
+				w.Begin()
+				_ = v
+				processed.Add(1)
+				w.End()
+				return Executing
+			},
+			Load: func() float64 { return float64(work.Len()) },
+		}}}, nil
+	}
+	return &NestSpec{Name: "app", Alts: []*AltSpec{
+		{Name: "doall-a", Stages: []StageSpec{{Name: "worker", Type: PAR}}, Make: mk},
+		{Name: "doall-b", Stages: []StageSpec{{Name: "worker", Type: PAR}}, Make: mk},
+	}}
+}
+
+func TestRootAltSwitchSuspendsAndResumes(t *testing.T) {
 	work := queue.New[int](0)
 	var processed atomic.Int64
-	spec := doallSpec(work, &processed)
+	spec := twoAltDoallSpec(work, &processed)
 	e, err := New(spec, WithContexts(8),
 		WithInitialConfig(&Config{Alt: 0, Extents: []int{2}}))
 	if err != nil {
@@ -345,14 +377,15 @@ func TestRootReconfigurationSuspendsAndResumes(t *testing.T) {
 	if err := e.Start(); err != nil {
 		t.Fatal(err)
 	}
-	// Grow the root extent: requires suspension.
-	e.SetConfig(&Config{Alt: 0, Extents: []int{6}})
+	// Switch the root alternative: the stage set changes, so the full
+	// suspend→drain→respawn protocol applies.
+	e.SetConfig(&Config{Alt: 1, Extents: []int{6}})
 	deadline := time.Now().Add(2 * time.Second)
 	for e.Suspensions() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	if e.Suspensions() == 0 {
-		t.Fatal("root change did not suspend")
+		t.Fatal("root alternative switch did not suspend")
 	}
 	for i := 50; i < 100; i++ {
 		work.Enqueue(i)
@@ -382,8 +415,8 @@ func TestRootReconfigurationSuspendsAndResumes(t *testing.T) {
 	if !sawReconf || !sawSuspend || !sawResume || !sawFinish {
 		t.Fatalf("event sequence incomplete: %v", events)
 	}
-	if got := e.CurrentConfig().Extents[0]; got != 6 {
-		t.Fatalf("final extent = %d", got)
+	if got := e.CurrentConfig(); got.Alt != 1 || got.Extents[0] != 6 {
+		t.Fatalf("final config = %+v", got)
 	}
 }
 

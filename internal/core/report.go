@@ -37,6 +37,17 @@ type StageReport struct {
 	// instances.
 	Iterations uint64
 	Completed  uint64
+	// Workers is the live worker-slot gauge. During an in-place resize it
+	// briefly diverges from Extent: retiring slots finish their current
+	// iteration, fresh slots are still warming up. Mechanisms normalizing
+	// Rate or Load per worker should divide by Workers, not Extent.
+	Workers int
+	// Spawned and Retired count worker slots ever started and slots that
+	// exited because a shrink retired them; Resizes counts in-place extent
+	// changes the stage has absorbed without suspending the nest.
+	Spawned uint64
+	Retired uint64
+	Resizes uint64
 }
 
 // NestReport is the monitored view of one nest under its current
@@ -161,6 +172,10 @@ func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestRepor
 			LoadInstances: n,
 			Iterations:    ss.Iterations(),
 			Completed:     ss.Completed(),
+			Workers:       ss.Workers(),
+			Spawned:       ss.Spawned(),
+			Retired:       ss.Retired(),
+			Resizes:       ss.Resizes(),
 		})
 		if st.Nest != nil {
 			if nr.Children == nil {
@@ -179,6 +194,11 @@ type EventKind int
 const (
 	// EventReconfigure: a new configuration was installed.
 	EventReconfigure EventKind = iota
+	// EventResize: one stage's worker group was resized in place (grown or
+	// shrunk) without suspending the nest. A reconfiguration that changes
+	// several stages' extents emits one EventResize per stage, after its
+	// EventReconfigure.
+	EventResize
 	// EventSuspend: the executive requested top-level task suspension.
 	EventSuspend
 	// EventResume: top-level tasks respawned under a new configuration.
@@ -194,6 +214,8 @@ func (k EventKind) String() string {
 	switch k {
 	case EventReconfigure:
 		return "reconfigure"
+	case EventResize:
+		return "resize"
 	case EventSuspend:
 		return "suspend"
 	case EventResume:
@@ -218,6 +240,11 @@ type Event struct {
 	// Mechanism names the deciding mechanism for reconfigurations driven
 	// by the control loop.
 	Mechanism string
+	// Stage names the resized stage and FromExtent/ToExtent its extents
+	// before and after, for EventResize.
+	Stage      string
+	FromExtent int
+	ToExtent   int
 	// Err carries the failure for EventError.
 	Err error
 }

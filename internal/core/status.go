@@ -16,12 +16,19 @@
 // every outer transcoding thread spawns its own inner pipeline.
 //
 // The executive assigns each nest a Config: which alternative runs and with
-// what DoP extent per stage. Mechanisms (package mechanism) recompute the
-// Config from monitored features; the executive applies inner-nest changes
-// at the next instantiation and root changes through the suspension
-// protocol, in which top-level workers observe Suspended from Task.Begin /
-// Task.End, drain via their FiniCBs, and are respawned under the new
-// configuration.
+// what DoP extent per stage. Each running stage is backed by a worker group
+// (one goroutine per slot of the stage's extent), and the executive applies
+// configuration changes with the cheapest protocol that realizes them:
+//
+//   - inner-nest changes take effect at the next nested instantiation;
+//   - root extent-only changes resize the affected worker groups in place —
+//     a grow spawns fresh slots, a shrink retires specific slots, which
+//     observe retirement at their next Begin/End and exit after the current
+//     iteration while every other stage keeps flowing;
+//   - a root alternative switch (e.g. fusion ↔ pipeline), which changes the
+//     stage set itself, uses the full suspension protocol: top-level workers
+//     observe Suspended from Task.Begin / Task.End, drain via their FiniCBs,
+//     and are respawned under the new configuration.
 package core
 
 // Status is the state a task reports after each iteration of its loop body
@@ -31,9 +38,11 @@ type Status int
 const (
 	// Executing means the loop should continue with another iteration.
 	Executing Status = iota
-	// Suspended means the executive requested reconfiguration and the task
-	// has reached a consistent point; the worker loop exits and will be
-	// respawned under the new configuration.
+	// Suspended means the executive asked this worker to stop and the task
+	// has reached a consistent point; the worker loop exits. For a
+	// whole-nest suspension the workers are respawned under the new
+	// configuration; for a slot retired by an in-place shrink the exit is
+	// final while the stage's remaining workers keep running.
 	Suspended
 	// Finished means the loop's exit branch was taken; the task is done.
 	Finished

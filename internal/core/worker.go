@@ -19,42 +19,56 @@ type Worker struct {
 	key   monitor.Key
 	stats *monitor.StageStats
 	path  []string
-	// top is true for workers of the root loop; only they observe
-	// Suspended, because nested instances always drain naturally with
-	// their parent's current work item.
-	top    bool
-	slot   int
-	extent int
-	item   any
+	// top is true for workers of the root loop; only they observe a
+	// whole-run suspension, because nested instances always drain naturally
+	// with their parent's current work item. Slot retirement (an in-place
+	// shrink) is observed at every level.
+	top   bool
+	slot  int
+	item  any
+	group *workerGroup
+	gslot *groupSlot
 
 	holding bool
 	beginAt time.Time
 }
 
-// Slot returns this worker's index within its stage's DoP extent, in
-// [0, extent). Useful for DOALL stages that partition an index space.
+// Slot returns this worker's id within its stage's worker group. In steady
+// state ids lie in [0, extent); while a grow overlaps a still-draining
+// shrink, a fresh worker may briefly carry an id at or above the extent
+// rather than share one with a retiring worker. Useful for DOALL stages
+// that partition an index space.
 func (w *Worker) Slot() int { return w.slot }
 
 // Item returns the work item the enclosing nested loop was instantiated
 // for, or nil at the root.
 func (w *Worker) Item() any { return w.item }
 
-// Extent returns the DoP extent this worker's stage was spawned with.
-func (w *Worker) Extent() int { return w.extent }
+// Extent returns the DoP extent this worker's stage is currently configured
+// for. With in-place resizing this is live: it tracks the group's target
+// across reconfigurations rather than the value the worker was spawned
+// with.
+func (w *Worker) Extent() int { return w.group.Target() }
 
-// Suspending reports whether the executive has requested reconfiguration of
-// this worker's run. Functors that block for work outside Begin/End (e.g.
-// on a queue) consult it to stay responsive to suspension, typically via
-// queue.DequeueWhile.
-func (w *Worker) Suspending() bool { return w.top && w.run.suspending() }
+// Suspending reports whether the executive needs this worker to stop: its
+// run is suspending for an alternative switch, or its slot was retired by
+// an in-place shrink. Functors that block for work outside Begin/End (e.g.
+// on a queue) consult it to stay responsive to reconfiguration, typically
+// via queue.DequeueWhile.
+func (w *Worker) Suspending() bool {
+	if w.gslot != nil && w.gslot.retiring() {
+		return true
+	}
+	return w.top && w.run.suspending()
+}
 
 // Begin signals that the CPU-intensive part of the task is starting. It
 // claims a hardware context and starts the execution timer. If the
-// executive has requested reconfiguration (top-level workers only), Begin
-// returns Suspended without claiming a context and the functor should
+// executive needs the worker to stop (run suspension or slot retirement),
+// Begin returns Suspended without claiming a context and the functor should
 // return Suspended at once.
 func (w *Worker) Begin() Status {
-	if w.top && w.run.suspending() {
+	if w.Suspending() {
 		return Suspended
 	}
 	w.exec.contexts.Acquire()
@@ -65,7 +79,7 @@ func (w *Worker) Begin() Status {
 
 // End signals that the CPU-intensive part has ended: the context is
 // released and the elapsed time is recorded for the monitors. Like Begin it
-// reports Suspended when reconfiguration is pending.
+// reports Suspended when the worker should stop.
 func (w *Worker) End() Status {
 	if w.holding {
 		now := w.exec.clock.Now()
@@ -73,7 +87,7 @@ func (w *Worker) End() Status {
 		w.holding = false
 		w.exec.contexts.Release()
 	}
-	if w.top && w.run.suspending() {
+	if w.Suspending() {
 		return Suspended
 	}
 	return Executing
@@ -81,9 +95,9 @@ func (w *Worker) End() Status {
 
 // RunNest instantiates the nested loop spec for item under the current
 // configuration, runs it to completion, and returns the master stage's
-// final status (Finished on natural completion). When reconfiguration is
-// pending and this is a top-level worker, RunNest reports Suspended after
-// the nested loop has drained, so no work is lost.
+// final status (Finished on natural completion). When this worker must stop
+// — its run is suspending, or its slot was retired by a shrink — RunNest
+// reports Suspended after the nested loop has drained, so no work is lost.
 //
 // The stage must have declared spec in its StageSpec.Nest; undeclared nests
 // still run but adapt only with default configuration.
@@ -93,7 +107,7 @@ func (w *Worker) RunNest(spec *NestSpec, item any) (Status, error) {
 	if err != nil {
 		return st, err
 	}
-	if w.top && w.run.suspending() {
+	if w.Suspending() {
 		return Suspended, nil
 	}
 	return st, nil

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dope/internal/monitor"
+)
+
+// groupSlot is one worker position within a stage's worker group. A shrink
+// retires a specific slot by raising its retire flag; the slot's worker
+// observes the flag at its next Begin/End (or DequeueWhile predicate check)
+// and exits after finishing the current iteration, so no work is lost.
+// A slot is never un-retired: a grow that follows a shrink spawns fresh
+// slots instead, which keeps the retire flag single-transition and free of
+// ABA races.
+type groupSlot struct {
+	id     int
+	retire atomic.Bool
+}
+
+func (s *groupSlot) retiring() bool { return s.retire.Load() }
+
+// workerGroup owns the worker goroutines of one stage instance. It is the
+// unit of in-place reconfiguration: the executive grows a group by spawning
+// slots and shrinks it by retiring them, while every other stage of the
+// nest keeps flowing. Only an alternative switch (fusion ↔ pipeline) still
+// pays for the whole-nest suspend→drain→respawn protocol.
+type workerGroup struct {
+	exec   *Exec
+	r      *run
+	key    monitor.Key
+	stats  *monitor.StageStats
+	st     *StageSpec
+	fns    StageFns
+	path   []string
+	top    bool
+	item   any
+	altIdx int
+
+	mu      sync.Mutex
+	slots   []*groupSlot // live slots, including those draining a retirement
+	target  int          // desired extent; slots converge toward it
+	started bool
+	closed  bool // all slots exited; resizes are no-ops from here on
+	sawSusp bool // a non-retired slot exited with Suspended
+	done    chan struct{}
+}
+
+// setTarget records a desired extent before the group has started; start()
+// spawns exactly the recorded target. After start it is a no-op — use
+// resize.
+func (g *workerGroup) setTarget(n int) {
+	g.mu.Lock()
+	if !g.started {
+		g.target = n
+	}
+	g.mu.Unlock()
+}
+
+// start spawns the group's initial slots. Must be called exactly once.
+func (g *workerGroup) start() {
+	g.mu.Lock()
+	g.started = true
+	g.spawnLocked(g.target)
+	g.mu.Unlock()
+}
+
+// resize moves the group toward extent n in place: it retires the
+// highest-id active slots on a shrink and spawns fresh slots on a grow. It
+// reports the previous target and whether anything changed. Called with the
+// executive's install lock held, which serializes competing resizes.
+func (g *workerGroup) resize(n int) (from int, changed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	from = g.target
+	if g.closed || n == g.target {
+		return from, false
+	}
+	g.target = n
+	if !g.started {
+		// Spawn has not happened yet; start() will use the new target.
+		return from, true
+	}
+	active := g.activeLocked()
+	switch {
+	case n < len(active):
+		// Retire from the top so steady-state slot ids stay [0, extent).
+		sort.Slice(active, func(i, j int) bool { return active[i].id > active[j].id })
+		for _, s := range active[:len(active)-n] {
+			s.retire.Store(true)
+		}
+	case n > len(active):
+		g.spawnLocked(n - len(active))
+	}
+	g.stats.ObserveResize()
+	return from, true
+}
+
+// activeLocked returns the slots not yet marked for retirement.
+func (g *workerGroup) activeLocked() []*groupSlot {
+	active := make([]*groupSlot, 0, len(g.slots))
+	for _, s := range g.slots {
+		if !s.retiring() {
+			active = append(active, s)
+		}
+	}
+	return active
+}
+
+// spawnLocked starts n fresh slots on the lowest ids not held by any live
+// slot. Retiring slots keep their id until they exit, so a grow that
+// overlaps a draining shrink briefly uses ids at or above the extent rather
+// than double-booking one.
+func (g *workerGroup) spawnLocked(n int) {
+	used := make(map[int]bool, len(g.slots))
+	for _, s := range g.slots {
+		used[s.id] = true
+	}
+	id := 0
+	for i := 0; i < n; i++ {
+		for used[id] {
+			id++
+		}
+		used[id] = true
+		s := &groupSlot{id: id}
+		g.slots = append(g.slots, s)
+		g.stats.ObserveWorkerStart()
+		go g.runSlot(s)
+	}
+}
+
+// Target returns the extent the group is converging toward.
+func (g *workerGroup) Target() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.target
+}
+
+// runSlot is one worker goroutine: it drives the stage functor until the
+// stage finishes, the run suspends, or this slot is retired by a shrink.
+func (g *workerGroup) runSlot(s *groupSlot) {
+	w := &Worker{
+		exec: g.exec, run: g.r, key: g.key, stats: g.stats,
+		path: g.path, top: g.top, slot: s.id, item: g.item,
+		group: g, gslot: s,
+	}
+	defer g.slotExit(s)
+	defer func() {
+		// A panicking functor must not take down the whole process (the
+		// paper's tasks are application code the runtime cannot vouch for):
+		// balance the CPU section, record the failure, and stop the run.
+		if p := recover(); p != nil {
+			if w.holding {
+				w.End()
+			}
+			g.exec.recordTaskPanic(g.key, p)
+		}
+	}()
+	for {
+		status := g.fns.Fn(w)
+		if w.holding {
+			// The functor returned without closing its CPU section; balance
+			// it so the context is not leaked.
+			w.End()
+		}
+		switch status {
+		case Executing:
+			if s.retiring() {
+				return // retirement observed between iterations
+			}
+		case Suspended:
+			// A retired slot exiting Suspended is just the shrink landing;
+			// from a slot that was not retired it means the run (or this
+			// nest instance) is suspending.
+			if !s.retiring() {
+				g.mu.Lock()
+				g.sawSusp = true
+				g.mu.Unlock()
+			}
+			return
+		default: // Finished
+			return
+		}
+	}
+}
+
+// slotExit removes s from the group and closes the group when the last slot
+// leaves. Fini (run by the nest) must only fire once every slot is out, so
+// the close condition counts retiring slots too.
+func (g *workerGroup) slotExit(s *groupSlot) {
+	g.mu.Lock()
+	for i, other := range g.slots {
+		if other == s {
+			g.slots = append(g.slots[:i], g.slots[i+1:]...)
+			break
+		}
+	}
+	finished := g.started && len(g.slots) == 0 && !g.closed
+	if finished {
+		g.closed = true
+	}
+	g.mu.Unlock()
+	g.stats.ObserveWorkerExit(s.retiring())
+	if finished {
+		close(g.done)
+	}
+}
+
+// wait blocks until every slot has exited.
+func (g *workerGroup) wait() { <-g.done }
+
+// suspended reports whether a non-retired slot exited with Suspended.
+func (g *workerGroup) suspended() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sawSusp
+}

@@ -111,6 +111,7 @@ func Experiments() [][2]string {
 		{"ext-edp", "EXTENSION: the min energy-delay-product goal"},
 		{"table4", "application port summary"},
 		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
+		{"reconfig-dip", "real-runtime reconfiguration cost: in-place resize vs whole-nest respawn"},
 		{"live-transcode", "real-runtime transcode server under WQ-Linear"},
 		{"live-ferret", "real-runtime ferret batch under TBF"},
 		{"live-power", "real-runtime ferret under TPC with a watt budget"},
@@ -158,6 +159,8 @@ func Run(id string, scale float64) (*Table, error) {
 		return Table4(), nil
 	case "table5":
 		return Table5(scale), nil
+	case "reconfig-dip":
+		return ReconfigDip()
 	case "live-transcode":
 		return LiveTranscode()
 	case "live-ferret":

@@ -32,6 +32,17 @@ type StageStats struct {
 	lastAt     time.Time
 	rate       *stats.EWMA // iterations/sec from inter-completion gaps
 	execSum    float64
+
+	// Worker-slot lifecycle, maintained by the executive's stage worker
+	// groups. With in-place resizing the configured extent and the number
+	// of workers actually iterating can briefly diverge (retiring slots
+	// finish their current iteration; fresh slots are still warming up), so
+	// mechanisms that normalize Rate or Load per worker should divide by
+	// Workers(), the live gauge, not by the configured extent.
+	workers int    // live worker slots (includes slots draining a retirement)
+	spawned uint64 // slots ever started
+	retired uint64 // slots that exited because a shrink retired them
+	resizes uint64 // in-place extent changes applied to the stage
 }
 
 func newStageStats(alpha float64) *StageStats {
@@ -63,6 +74,69 @@ func (s *StageStats) ObserveInstanceDone() {
 	s.mu.Lock()
 	s.completed++
 	s.mu.Unlock()
+}
+
+// ObserveWorkerStart records that a worker slot began iterating the stage.
+func (s *StageStats) ObserveWorkerStart() {
+	s.mu.Lock()
+	s.workers++
+	s.spawned++
+	s.mu.Unlock()
+}
+
+// ObserveWorkerExit records that a worker slot exited; retired says whether
+// the exit was a shrink retiring the slot (as opposed to the stage
+// finishing or the nest suspending). The live gauge drops either way, and
+// lastAt is cleared when the stage goes idle so the rate EWMA does not
+// manufacture a huge inter-completion gap (and hence a near-zero rate
+// observation) from a retirement pause when iterations resume.
+func (s *StageStats) ObserveWorkerExit(retired bool) {
+	s.mu.Lock()
+	if s.workers > 0 {
+		s.workers--
+	}
+	if retired {
+		s.retired++
+	}
+	if s.workers == 0 {
+		s.lastAt = time.Time{}
+	}
+	s.mu.Unlock()
+}
+
+// ObserveResize records one in-place extent change applied to the stage.
+func (s *StageStats) ObserveResize() {
+	s.mu.Lock()
+	s.resizes++
+	s.mu.Unlock()
+}
+
+// Workers returns the live worker-slot gauge.
+func (s *StageStats) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// Spawned returns how many worker slots have ever started.
+func (s *StageStats) Spawned() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spawned
+}
+
+// Retired returns how many worker slots were retired by shrinks.
+func (s *StageStats) Retired() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retired
+}
+
+// Resizes returns how many in-place extent changes the stage has absorbed.
+func (s *StageStats) Resizes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resizes
 }
 
 // ExecTime returns the smoothed per-iteration CPU time in seconds.

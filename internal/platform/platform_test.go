@@ -45,6 +45,81 @@ func TestWallClock(t *testing.T) {
 	}
 }
 
+func TestVirtualTickerFiresOnAdvance(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	tk := c.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before any advance")
+	default:
+	}
+	c.Advance(9 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before its period elapsed")
+	default:
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case at := <-tk.C():
+		if !at.Equal(time.Unix(0, 0).Add(10 * time.Millisecond)) {
+			t.Fatalf("tick time = %v", at)
+		}
+	default:
+		t.Fatal("ticker did not fire at its period")
+	}
+}
+
+func TestVirtualTickerCoalescesMissedTicks(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	// A jump across 100 periods delivers one (buffered) tick, like
+	// time.Ticker with a lagging receiver.
+	c.Advance(100 * time.Millisecond)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("no tick after a long jump")
+	}
+	select {
+	case <-tk.C():
+		t.Fatal("missed ticks were queued instead of dropped")
+	default:
+	}
+	// The next deadline is the first multiple after the jump.
+	c.Advance(time.Millisecond)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("ticker dead after a coalesced jump")
+	}
+}
+
+func TestVirtualTickerStop(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	tk := c.NewTicker(time.Millisecond)
+	tk.Stop()
+	c.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestWallTicker(t *testing.T) {
+	var c WallClock
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall ticker never fired")
+	}
+}
+
 func TestContextsBounds(t *testing.T) {
 	c := NewContexts(2)
 	if c.N() != 2 || c.Idle() != 2 || c.Busy() != 0 {

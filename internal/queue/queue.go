@@ -34,6 +34,10 @@ type Queue[T any] struct {
 	items    []T
 	capacity int
 	closed   bool
+	// wakeCh, when non-nil, is closed to wake DequeueWhile waiters on
+	// enqueue/close. It is created lazily by the first waiter so queues
+	// without DequeueWhile consumers pay nothing per enqueue.
+	wakeCh chan struct{}
 
 	occupancy atomic.Int64 // mirrors len(items) for lock-free Len
 	enqueued  atomic.Uint64
@@ -71,8 +75,17 @@ func (q *Queue[T]) Enqueue(item T) error {
 	}
 	q.enqueued.Add(1)
 	q.notEmpty.Signal()
+	q.wakeLocked()
 	q.mu.Unlock()
 	return nil
+}
+
+// wakeLocked wakes all DequeueWhile waiters. Called with q.mu held.
+func (q *Queue[T]) wakeLocked() {
+	if q.wakeCh != nil {
+		close(q.wakeCh)
+		q.wakeCh = nil
+	}
 }
 
 // TryEnqueue appends item without blocking. It reports false when the queue
@@ -97,6 +110,7 @@ func (q *Queue[T]) TryEnqueue(item T) (bool, error) {
 	}
 	q.enqueued.Add(1)
 	q.notEmpty.Signal()
+	q.wakeLocked()
 	return true, nil
 }
 
@@ -145,14 +159,23 @@ func (q *Queue[T]) TryDequeue() (T, bool, error) {
 }
 
 // DequeueWhile dequeues like Dequeue but gives up when keepWaiting returns
-// false, polling at the given interval while the queue is empty. The bool
-// reports whether an item was returned; err is ErrClosed when the queue is
-// closed and drained. DoPE task functors use this to block for work while
-// remaining responsive to the executive's suspension requests.
+// false. While the queue is empty it blocks on an enqueue/close wakeup
+// channel rather than busy-polling; poll is only the re-check period for
+// keepWaiting (the executive's suspension/retirement flag is not wired to
+// the queue, so it must be observed by timeout). The bool reports whether
+// an item was returned; err is ErrClosed when the queue is closed and
+// drained. DoPE task functors use this to block for work while remaining
+// responsive to the executive's reconfiguration requests.
 func (q *Queue[T]) DequeueWhile(keepWaiting func() bool, poll time.Duration) (T, bool, error) {
 	if poll <= 0 {
-		poll = 100 * time.Microsecond
+		poll = time.Millisecond
 	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		item, ok, err := q.TryDequeue()
 		if ok || err != nil {
@@ -162,8 +185,38 @@ func (q *Queue[T]) DequeueWhile(keepWaiting func() bool, poll time.Duration) (T,
 			var zero T
 			return zero, false, nil
 		}
-		time.Sleep(poll)
+		wake := q.dequeueWait()
+		if wake == nil { // item or closure appeared since TryDequeue
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(poll)
+		} else {
+			timer.Reset(poll)
+		}
+		select {
+		case <-wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
 	}
+}
+
+// dequeueWait returns a channel closed at the next enqueue or Close, or nil
+// when the queue already has items (or is closed) and the caller should
+// retry immediately.
+func (q *Queue[T]) dequeueWait() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 || q.closed {
+		return nil
+	}
+	if q.wakeCh == nil {
+		q.wakeCh = make(chan struct{})
+	}
+	return q.wakeCh
 }
 
 // Close marks the queue closed. Blocked producers fail with ErrClosed;
@@ -174,6 +227,7 @@ func (q *Queue[T]) Close() {
 	q.closed = true
 	q.notEmpty.Broadcast()
 	q.notFull.Broadcast()
+	q.wakeLocked()
 	q.mu.Unlock()
 }
 

@@ -3,6 +3,7 @@ package queue
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -306,6 +307,70 @@ func TestDequeueWhileClosedQueue(t *testing.T) {
 	}
 	if _, ok, err := q.DequeueWhile(func() bool { return true }, 0); ok || !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed+drained should return ErrClosed, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDequeueWhileWakesOnEnqueueWithSlowPoll(t *testing.T) {
+	// With an event-driven wakeup, a consumer blocked with a long
+	// keepWaiting poll must still receive an item promptly.
+	q := New[int](0)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.Enqueue(9)
+	}()
+	start := time.Now()
+	v, ok, err := q.DequeueWhile(func() bool { return true }, time.Second)
+	if !ok || err != nil || v != 9 {
+		t.Fatalf("got %v %v %v", v, ok, err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("enqueue did not wake the waiter; it slept the full poll")
+	}
+}
+
+func TestDequeueWhileWakesOnCloseWithSlowPoll(t *testing.T) {
+	q := New[int](0)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.Close()
+	}()
+	start := time.Now()
+	_, ok, err := q.DequeueWhile(func() bool { return true }, time.Second)
+	if ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("got ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("close did not wake the waiter")
+	}
+}
+
+func TestDequeueWhileManyWaitersAllDrain(t *testing.T) {
+	q := New[int](0)
+	const workers, items = 8, 200
+	var got atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, ok, err := q.DequeueWhile(func() bool { return true }, time.Millisecond)
+				if err != nil {
+					return
+				}
+				if ok {
+					got.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+	if got.Load() != items {
+		t.Fatalf("drained %d of %d across concurrent DequeueWhile waiters", got.Load(), items)
 	}
 }
 

@@ -22,6 +22,9 @@ const (
 	evArrival eventKind = iota
 	evCompletion
 	evControl
+	// evResume ends a reconfiguration freeze window (ResizeCost/DrainCost)
+	// and restarts service.
+	evResume
 	evSample
 )
 

@@ -54,6 +54,20 @@ type PipelineConfig struct {
 	// SampleEvery > 0 records (time, throughput, power, totalExtent) series
 	// points at that period, for the Figure 13/14 traces.
 	SampleEvery float64
+	// ResizeCost is the simulated seconds service is frozen after an
+	// extent-only reconfiguration — the real executive's in-place
+	// worker-group resize, which costs roughly a slot spawn/retire. Default
+	// 0 (free).
+	ResizeCost float64
+	// DrainCost is the simulated seconds service stays frozen after an
+	// alternative switch finishes draining, modelling the teardown/respawn
+	// of every stage that the suspend→drain→respawn protocol pays on top of
+	// the drain barrier itself. Default 0.
+	DrainCost float64
+	// RespawnOnResize makes extent-only changes pay the drain barrier and
+	// DrainCost too, mirroring core.WithWholeNestRespawn — the A/B baseline
+	// for what in-place resizing saves.
+	RespawnOnResize bool
 }
 
 func (c *PipelineConfig) defaults(nStages int) {
@@ -98,8 +112,13 @@ type PipelineResult struct {
 	// MeanResponse and P95Response are per-item seconds (server mode).
 	MeanResponse float64
 	P95Response  float64
-	// Reconfigurations counts applied configuration changes.
+	// Reconfigurations counts applied configuration changes; Resizes the
+	// subset realized as in-place extent changes and Drains the subset that
+	// paid the full drain barrier (alternative switches, or every root
+	// change when RespawnOnResize is set).
 	Reconfigurations int
+	Resizes          int
+	Drains           int
 	// FinalExtents is the extent vector at completion; FinalAlt the
 	// alternative.
 	FinalExtents []int
@@ -135,6 +154,12 @@ type pipeSim struct {
 	arrived   int
 	completed int
 	reconfs   int
+	resizes   int
+	drains    int
+	// frozenUntil blocks new service starts until the given time: the
+	// ResizeCost/DrainCost window after a reconfiguration. Completions
+	// already in flight still land during the freeze.
+	frozenUntil float64
 
 	resp    stats.Welford
 	respAll []float64
@@ -232,6 +257,8 @@ func RunPipeline(model *PipelineModel, cfg PipelineConfig) PipelineResult {
 		SteadyThroughput: float64(s.completed-cfg.Tasks/2) / math.Max(s.lastAt-s.halfAt, 1e-9),
 		MeanResponse:     s.resp.Mean(),
 		Reconfigurations: s.reconfs,
+		Resizes:          s.resizes,
+		Drains:           s.drains,
 		FinalExtents:     append([]int(nil), s.extents...),
 		FinalAlt:         s.alt,
 		Samples:          s.samples,
@@ -274,6 +301,8 @@ func (s *pipeSim) loop() {
 			if s.completed < s.cfg.Tasks {
 				s.agenda.schedule(s.now+s.cfg.ControlEvery, evControl, 0, 0)
 			}
+		case evResume:
+			s.pump()
 		case evSample:
 			s.sample()
 			if s.completed < s.cfg.Tasks {
@@ -363,7 +392,9 @@ func (s *pipeSim) fusedService(extent int) float64 {
 }
 
 // pump starts service wherever a stage has capacity and input; while an
-// alternative switch is pending it instead waits for the drain barrier.
+// alternative switch is pending it instead waits for the drain barrier, and
+// while a freeze window (ResizeCost/DrainCost) is open it waits for the
+// evResume that closes it.
 func (s *pipeSim) pump() {
 	if s.pending != nil {
 		if s.totalBusy() > 0 {
@@ -372,6 +403,11 @@ func (s *pipeSim) pump() {
 		s.migrateQueues()
 		s.setExtents(s.pending.alt, s.pending.extents)
 		s.pending = nil
+		s.drains++
+		s.freeze(s.cfg.DrainCost)
+	}
+	if s.now < s.frozenUntil {
+		return
 	}
 	for i := 0; i < s.nStages(); i++ {
 		for s.busy[i] < s.capacityOf(i) && len(s.queues[i]) > 0 {
@@ -462,10 +498,25 @@ func (s *pipeSim) setExtents(alt int, extents []int) {
 	}
 }
 
-// control synthesizes a report and applies the mechanism's decision.
-// Extent-only changes apply immediately (the real executive picks them up
-// at the next instantiation); alternative switches go through the drain
-// barrier in pump.
+// freeze blocks new service starts for d simulated seconds and schedules
+// the evResume that reopens the pumps. Overlapping freezes extend, never
+// shorten, the window.
+func (s *pipeSim) freeze(d float64) {
+	if d <= 0 {
+		return
+	}
+	until := s.now + d
+	if until > s.frozenUntil {
+		s.frozenUntil = until
+	}
+	s.agenda.schedule(until, evResume, 0, 0)
+}
+
+// control synthesizes a report and applies the mechanism's decision with
+// the real executive's cost structure: extent-only changes resize in place
+// (service keeps flowing, modulo ResizeCost) while alternative switches —
+// and, under RespawnOnResize, every root change — pay the drain barrier in
+// pump plus DrainCost.
 func (s *pipeSim) control() {
 	rep := s.report()
 	newCfg := s.cfg.Mechanism.Reconfigure(rep)
@@ -476,9 +527,11 @@ func (s *pipeSim) control() {
 	switch {
 	case s.pending != nil:
 		// A switch is already in flight; update its target.
-		if newCfg.Alt == s.alt && s.pending.alt == s.alt {
+		if newCfg.Alt == s.alt && s.pending.alt == s.alt && !s.cfg.RespawnOnResize {
 			s.pending = nil
 			s.setExtents(newCfg.Alt, newCfg.Extents)
+			s.resizes++
+			s.freeze(s.cfg.ResizeCost)
 		} else {
 			s.pending = &pendingSwitch{alt: newCfg.Alt, extents: newCfg.Extents}
 		}
@@ -487,9 +540,16 @@ func (s *pipeSim) control() {
 		s.pending = &pendingSwitch{alt: newCfg.Alt, extents: newCfg.Extents}
 		s.reconfs++
 		s.pump()
+	case !equalInts(newCfg.Extents, s.extents) && s.cfg.RespawnOnResize:
+		// Legacy whole-nest respawn: even an extent change drains first.
+		s.pending = &pendingSwitch{alt: newCfg.Alt, extents: newCfg.Extents}
+		s.reconfs++
+		s.pump()
 	case !equalInts(newCfg.Extents, s.extents):
 		s.setExtents(newCfg.Alt, newCfg.Extents)
 		s.reconfs++
+		s.resizes++
+		s.freeze(s.cfg.ResizeCost)
 		s.pump()
 	}
 }

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"dope/internal/mechanism"
+)
+
+// --- reconfiguration cost model ---------------------------------------------
+//
+// The simulator mirrors the executive's two reconfiguration paths: extent-only
+// changes resize worker groups in place (Resizes, optional ResizeCost freeze)
+// while alternative switches — or every change under RespawnOnResize — pay the
+// drain barrier plus DrainCost (Drains).
+
+func TestInPlaceResizeVsRespawn(t *testing.T) {
+	model := Ferret()
+	run := func(cfg PipelineConfig) PipelineResult {
+		cfg.Tasks = 800
+		cfg.ControlEvery = 0.02
+		cfg.Extents = []int{1, 1, 1, 1, 1, 1}
+		return RunPipeline(model, cfg)
+	}
+	inPlace := run(PipelineConfig{
+		Mechanism:  &mechanism.TBF{Threads: 24, DisableFusion: true},
+		ResizeCost: 0.002, DrainCost: 0.05,
+	})
+	if inPlace.Resizes == 0 {
+		t.Fatal("extent-only mechanism produced no in-place resizes")
+	}
+	if inPlace.Drains != 0 {
+		t.Fatalf("extent-only changes must not drain, got %d drains", inPlace.Drains)
+	}
+	respawn := run(PipelineConfig{
+		Mechanism:  &mechanism.TBF{Threads: 24, DisableFusion: true},
+		ResizeCost: 0.002, DrainCost: 0.05, RespawnOnResize: true,
+	})
+	if respawn.Reconfigurations == 0 || respawn.Drains == 0 {
+		t.Fatalf("RespawnOnResize arm never drained: %+v", respawn)
+	}
+	if respawn.Resizes != 0 {
+		t.Fatalf("RespawnOnResize must route every change through the drain path, got %d resizes", respawn.Resizes)
+	}
+	if respawn.Throughput >= inPlace.Throughput {
+		t.Fatalf("whole-nest respawn should cost throughput: respawn %.1f >= in-place %.1f",
+			respawn.Throughput, inPlace.Throughput)
+	}
+}
+
+func TestResizeCostCharged(t *testing.T) {
+	model := Ferret()
+	run := func(resizeCost float64) PipelineResult {
+		return RunPipeline(model, PipelineConfig{
+			Tasks: 600, ControlEvery: 0.02,
+			Extents:    []int{1, 1, 1, 1, 1, 1},
+			Mechanism:  &mechanism.TBF{Threads: 24, DisableFusion: true},
+			ResizeCost: resizeCost,
+		})
+	}
+	free := run(0)
+	costly := run(0.05)
+	if free.Resizes == 0 || costly.Resizes == 0 {
+		t.Fatalf("expected resizes in both arms: free %d, costly %d", free.Resizes, costly.Resizes)
+	}
+	if costly.Throughput >= free.Throughput {
+		t.Fatalf("ResizeCost freeze should lower throughput: costly %.1f >= free %.1f",
+			costly.Throughput, free.Throughput)
+	}
+}
