@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet dope-vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Standard vet plus the repo's own protocol analyzers (cmd/dope-vet).
+vet: dope-vet
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/dope-vet ./...
+
+dope-vet:
+	$(GO) build -o bin/dope-vet ./cmd/dope-vet
+
+ci: build vet test

@@ -247,7 +247,7 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 					if int(iters.Add(1)) > b.N {
 						return dope.Finished
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck benchmark runs under a static configuration; statuses are irrelevant
 					apps.Burn(units)
 					w.End()
 					return dope.Executing

@@ -1,0 +1,168 @@
+// Command dope-vet is the static-analysis suite that enforces DoPE's
+// Begin/End token protocol (the paper's Task interface, Table 2). It runs
+// four analyzers:
+//
+//	beginend     Begin/End balanced on every control-flow path
+//	suspendcheck Begin/End statuses compared against Suspended
+//	tokenhold    no blocking work while a platform context is held
+//	nestspec     statically-constructible specs are well-formed
+//
+// It supports two modes:
+//
+//	dope-vet [packages...]                      standalone over the module
+//	go vet -vettool=$(which dope-vet) ./...     as a go vet tool
+//
+// The second mode implements the unitchecker command-line protocol
+// (-V=full, -flags, unit.cfg) so the go command can drive it per package
+// with compiler-produced export data.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dope/internal/analysis/beginend"
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/load"
+	"dope/internal/analysis/nestspec"
+	"dope/internal/analysis/suspendcheck"
+	"dope/internal/analysis/tokenhold"
+)
+
+func analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		beginend.Analyzer,
+		suspendcheck.Analyzer,
+		tokenhold.Analyzer,
+		nestspec.Analyzer,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dope-vet: ")
+	flag.Usage = usage
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for go vet)")
+	flagsJSON := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *flagsJSON {
+		// No analyzer flags yet: an empty JSON array tells go vet there is
+		// nothing to forward.
+		fmt.Println("[]")
+		return
+	}
+	if *list {
+		for _, a := range analyzers() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0]) // invoked by go vet; exits
+		return
+	}
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `dope-vet statically enforces the DoPE Begin/End token protocol.
+
+Usage:
+	dope-vet [packages]          analyze module packages (default ./...)
+	dope-vet -list               list analyzers
+	go vet -vettool=$(which dope-vet) ./...
+`)
+	os.Exit(2)
+}
+
+// runStandalone loads module packages (tests included) and prints findings.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := load.NewLoader(cwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var units []*load.Package
+	for _, pat := range patterns {
+		var us []*load.Package
+		var err error
+		switch {
+		case pat == "all", pat == "./...":
+			us, err = l.LoadTree(l.ModRoot)
+		case strings.HasSuffix(pat, "/..."):
+			us, err = l.LoadTree(strings.TrimSuffix(pat, "/..."))
+		default:
+			us, err = l.LoadDir(pat, "")
+		}
+		if err != nil {
+			log.Fatalf("loading %s: %v", pat, err)
+		}
+		units = append(units, us...)
+	}
+	exit := 0
+	for _, u := range units {
+		findings, err := framework.RunPackage(l.Fset, u.Files, u.Types, u.Info, analyzers())
+		if err != nil {
+			log.Fatalf("%s: %v", u.ID, err)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n",
+				relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// versionFlag implements the -V=full protocol go vet uses for build
+// caching: print a line identifying the executable's contents.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel dope-vet buildID=%02x\n", prog, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

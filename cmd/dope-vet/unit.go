@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"regexp"
+
+	"dope/internal/analysis/framework"
+)
+
+// vetConfig is the JSON configuration the go command writes for each
+// package unit when driving a vet tool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit described by cfgFile and exits: status 1
+// if there are findings, 0 otherwise.
+func runUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data the go command already
+	// compiled for this unit's dependencies.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if cfg.Compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // gccgo's own lookup
+			}
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{
+		Importer:  compilerImporter,
+		GoVersion: languageVersion(cfg.GoVersion),
+		Sizes:     types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	// We export no facts, but the go command expects the output file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	findings, err := framework.RunPackage(fset, files, pkg, info, analyzers())
+	if err != nil {
+		log.Fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+			f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+var versionRE = regexp.MustCompile(`^go\d+\.\d+`)
+
+// languageVersion trims a toolchain version like "go1.24.0" to the language
+// version form ("go1.24") accepted by go/types.
+func languageVersion(v string) string {
+	if m := versionRE.FindString(v); m != "" {
+		return m
+	}
+	return ""
+}

@@ -134,6 +134,11 @@ var (
 	// WithWholeNestRespawn restores the legacy suspend-on-any-root-change
 	// behavior (A/B baseline for in-place resizing).
 	WithWholeNestRespawn = core.WithWholeNestRespawn
+	// WithProtocolCheck makes workers panic on Begin/End protocol misuse
+	// (double Begin, End without Begin, RunNest while holding); the panic
+	// surfaces as a run error. DOPE_DEBUG=1 enables it too. The static
+	// counterpart is cmd/dope-vet.
+	WithProtocolCheck = core.WithProtocolCheck
 )
 
 // DefaultConfig returns alternative 0 with extent 1 everywhere.

@@ -34,7 +34,7 @@ func counterSpec(work *queue.Queue[int], processed *atomic.Int64) *dope.NestSpec
 					if !ok {
 						return dope.Suspended
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
 					processed.Add(1)
 					w.End()
 					return dope.Executing
@@ -68,7 +68,7 @@ func TestCreateDestroyLifecycle(t *testing.T) {
 }
 
 func TestCreateRejectsBadSpec(t *testing.T) {
-	if _, err := dope.Create(&dope.NestSpec{Name: ""}, dope.StaticGoal(2)); err == nil {
+	if _, err := dope.Create(&dope.NestSpec{Name: ""}, dope.StaticGoal(2)); err == nil { //dopevet:ignore nestspec deliberately invalid spec under test
 		t.Fatal("invalid spec accepted")
 	}
 }
@@ -169,7 +169,7 @@ func TestAdaptiveGoalEndToEnd(t *testing.T) {
 						if !ok {
 							return dope.Suspended
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck,tokenhold suspension observed via DequeueWhile; sleep simulates stage work
 						time.Sleep(50 * time.Microsecond)
 						w.End()
 						out.Enqueue(v)
@@ -188,7 +188,7 @@ func TestAdaptiveGoalEndToEnd(t *testing.T) {
 						if !ok {
 							return dope.Suspended
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck,tokenhold suspension observed via DequeueWhile; sleep simulates stage work
 						time.Sleep(500 * time.Microsecond)
 						consumed.Add(1)
 						w.End()
@@ -266,7 +266,7 @@ func TestSetGoalSwitchesMechanismAtRuntime(t *testing.T) {
 						if !ok {
 							return dope.Suspended
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck,tokenhold suspension observed via DequeueWhile; sleep simulates stage work
 						time.Sleep(100 * time.Microsecond)
 						w.End()
 						out.Enqueue(v)
@@ -281,7 +281,7 @@ func TestSetGoalSwitchesMechanismAtRuntime(t *testing.T) {
 						if err != nil {
 							return dope.Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck,tokenhold drain stage exits via queue close; sleep simulates stage work
 						time.Sleep(time.Millisecond)
 						consumed.Add(1)
 						w.End()

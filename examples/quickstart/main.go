@@ -45,10 +45,15 @@ func main() {
 						if !ok {
 							return dope.Suspended
 						}
+						// The item is already claimed: parse and forward it
+						// before propagating a Suspended window.
 						w.Begin()
-						time.Sleep(200 * time.Microsecond) // light parse work
-						w.End()
+						time.Sleep(200 * time.Microsecond) //dopevet:ignore tokenhold sleep simulates parse work in the example
+						st := w.End()
 						out.Enqueue(v)
+						if st == dope.Suspended {
+							return dope.Suspended
+						}
 						return dope.Executing
 					},
 					Load: func() float64 { return float64(work.Len()) },
@@ -60,8 +65,10 @@ func main() {
 						if err != nil {
 							return dope.Finished
 						}
-						w.Begin()
-						time.Sleep(2 * time.Millisecond) // heavy transform work
+						// Drain stage: exits via the queue closing so items
+						// queued before a suspension are never lost.
+						w.Begin()                        //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
+						time.Sleep(2 * time.Millisecond) //dopevet:ignore tokenhold sleep simulates transform work in the example
 						consumed++
 						w.End()
 						return dope.Executing

@@ -43,7 +43,7 @@ func testExec(t *testing.T) (*core.Exec, *queue.Queue[int], *atomic.Int64) {
 						if !ok {
 							return core.Suspended
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
 						w.End()
 						out.Enqueue(v)
 						return core.Executing
@@ -57,7 +57,7 @@ func testExec(t *testing.T) (*core.Exec, *queue.Queue[int], *atomic.Int64) {
 						if err != nil {
 							return core.Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck,tokenhold drain stage exits via queue close; sleep simulates stage work
 						time.Sleep(200 * time.Microsecond)
 						consumed.Add(1)
 						w.End()

@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// and checks its diagnostics against `// want "regexp"` comments — the
+// stdlib mirror of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. Imports resolve against
+// <testdata>/src first (so fixtures can stub module packages like
+// dope/internal/core), then the standard library. A line expecting
+// diagnostics carries one trailing comment with one quoted regular
+// expression per expected diagnostic:
+//
+//	w.Begin() // want `double Begin`
+//	w.End()   // want "without a matching" "second message"
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched, or the test fails.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one pending want at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to each fixture package under testdata/src and reports
+// mismatches through t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runPackage(t, abs, a, pkg)
+		})
+	}
+}
+
+func runPackage(t *testing.T, testdata string, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	l, err := load.NewLoader("")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l.SrcDirs = []string{filepath.Join(testdata, "src")}
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+	units, err := l.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkg, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	for _, u := range units {
+		findings, err := framework.RunPackage(l.Fset, u.Files, u.Types, u.Info, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, u.ID, err)
+		}
+		expects := collectWants(t, l, u.Files)
+		for _, f := range findings {
+			key := posKey(f.Pos.Filename, f.Pos.Line)
+			matched := false
+			for _, exp := range expects[key] {
+				if !exp.matched && exp.re.MatchString(f.Message) {
+					exp.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+			}
+		}
+		for key, exps := range expects {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s: no diagnostic matching %q", key, exp.re)
+				}
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// collectWants extracts the `// want ...` expectations of every file.
+func collectWants(t *testing.T, l *load.Loader, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	out := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey(pos.Filename, pos.Line)
+					out[key] = append(out[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package beginend checks that every Worker.Begin is matched by a
+// Worker.End on all control-flow paths through a functor (the paper's Task
+// interface: Begin/End bracket exactly the CPU-intensive section, so an
+// unmatched Begin holds a platform context forever and a double Begin
+// claims two). Deferred Ends — `defer w.End()` or an End inside a deferred
+// function literal — close the window at every exit and are fully
+// supported, as is the suspension idiom
+// `if w.Begin() == core.Suspended { return core.Suspended }`, where the
+// Suspended branch never claimed a context.
+package beginend
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "beginend",
+	Doc: "check that Worker.Begin and Worker.End are balanced on every path: " +
+		"flags double Begin, End without Begin, and paths that leave the " +
+		"functor while still holding a platform context",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, fn := range protocol.Funcs(pass.Files) {
+		fn := fn
+		eng := &protocol.Engine{
+			Info: pass.TypesInfo,
+			Hooks: protocol.Hooks{
+				Begin: func(call *ast.CallExpr, before protocol.DepthMask) {
+					if before.MustHold() {
+						pass.Reportf(call.Pos(),
+							"Worker.Begin while already inside a Begin/End section (double Begin claims a second context)")
+					} else if before.CanHold() {
+						pass.Reportf(call.Pos(),
+							"Worker.Begin may run inside an open Begin/End section on some paths")
+					}
+				},
+				End: func(call *ast.CallExpr, before protocol.DepthMask) {
+					if fn.Deferred {
+						return // cleanup bodies balance a possibly-open section
+					}
+					if !before.CanHold() {
+						pass.Reportf(call.Pos(),
+							"Worker.End without a matching Worker.Begin")
+					}
+				},
+				Exit: func(pos token.Pos, depth protocol.DepthMask) {
+					if fn.Deferred {
+						return
+					}
+					if depth.MustHold() {
+						pass.Reportf(pos,
+							"functor returns while still holding a platform context (Worker.Begin without Worker.End)")
+					} else if depth.CanHold() {
+						pass.Reportf(pos,
+							"functor may return while holding a platform context (Worker.Begin without Worker.End on some path)")
+					}
+				},
+			},
+		}
+		eng.Run(fn)
+	}
+	return nil
+}

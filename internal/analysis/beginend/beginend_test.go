@@ -1,0 +1,12 @@
+package beginend_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/beginend"
+)
+
+func TestBeginEnd(t *testing.T) {
+	analysistest.Run(t, "../testdata", beginend.Analyzer, "beginend")
+}

@@ -1,0 +1,115 @@
+// Package framework is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer couples a name and a Run
+// function over a type-checked package (a Pass), and reports Diagnostics.
+//
+// The repository cannot vendor x/tools, so dope-vet's analyzers are written
+// against this package instead. The shapes are kept deliberately identical
+// to go/analysis (Analyzer.Name/Doc/Run, Pass.Fset/Files/Pkg/TypesInfo,
+// Pass.Reportf) so the suite can be rebased onto the real framework by
+// changing imports only.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in suppression
+	// comments; lowercase, no spaces.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer and one package: the syntax,
+// the type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; installed by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a positioned, analyzer-attributed diagnostic, the driver's
+// output unit.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies every analyzer to one type-checked package and returns
+// the surviving findings: suppression comments (see suppress.go) are
+// honored, and duplicate findings at the same position are dropped. Analyzer
+// run errors are returned as an error after all analyzers executed.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(fset, files)
+	var findings []Finding
+	seen := make(map[string]bool)
+	var firstErr error
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if sup.suppressed(a.Name, pos) {
+				return
+			}
+			key := fmt.Sprintf("%s|%s|%s", a.Name, pos, d.Message)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, firstErr
+}

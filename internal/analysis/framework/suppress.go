@@ -1,0 +1,80 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments let a call site opt out of one or more analyzers
+// where the protocol genuinely permits what the analyzer would flag (e.g. a
+// drain stage that deliberately ignores the Begin/End statuses because its
+// exit is driven by the upstream queue closing). Two spellings are honored,
+// on the flagged line or on the line immediately above it:
+//
+//	//dopevet:ignore name1,name2 reason...
+//	//lint:ignore name1,name2 reason...
+//
+// The analyzer-name list is mandatory — a bare ignore suppresses nothing —
+// and a reason is strongly encouraged.
+const (
+	ignorePrefix     = "dopevet:ignore"
+	lintIgnorePrefix = "lint:ignore"
+)
+
+// suppressions maps file name → line → analyzer names suppressed there.
+type suppressions map[string]map[int][]string
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var rest string
+				switch {
+				case strings.HasPrefix(text, ignorePrefix):
+					rest = text[len(ignorePrefix):]
+				case strings.HasPrefix(text, lintIgnorePrefix):
+					rest = text[len(lintIgnorePrefix):]
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					sup[pos.Filename] = m
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						m[pos.Line] = append(m[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether analyzer name is ignored at pos: a matching
+// ignore comment sits on the same line or the line directly above.
+func (s suppressions) suppressed(name string, pos token.Position) bool {
+	m := s[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range m[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

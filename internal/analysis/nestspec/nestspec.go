@@ -1,0 +1,311 @@
+// Package nestspec statically validates NestSpec/AltSpec/StageSpec/
+// StageFns and dope.PipeStage composite literals — the static tree of nest
+// specifications the paper's applications register with the executive.
+// It mirrors the structural invariants NestSpec.Validate enforces at run
+// time (non-empty names, at least one alternative and stage, a functor per
+// stage, no alternative or stage declared twice, sane DoP bounds) so a
+// malformed spec fails at vet time instead of at Create.
+//
+// Only statically-decidable facts are flagged: names must be constant to be
+// checked, and a missing field is only reported where the literal is
+// clearly meant to be complete (other fields are set, or the literal is an
+// element of the enclosing slice the executive consumes directly).
+package nestspec
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "nestspec",
+	Doc: "check statically-constructible NestSpec/PipeStage literals: " +
+		"non-empty names, non-nil functors, no alternative or stage " +
+		"declared twice, and consistent DoP bounds",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			switch litTypeName(pass.TypesInfo, lit) {
+			case "NestSpec":
+				checkNest(pass, lit)
+			case "AltSpec":
+				checkAlt(pass, lit)
+			case "StageSpec":
+				checkStage(pass, lit)
+			case "StageFns":
+				checkStageFns(pass, lit)
+			case "PipeStage":
+				checkPipeStage(pass, lit)
+			}
+			checkStageFnsSlice(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// litTypeName resolves the named type of a composite literal when it is one
+// of the spec types (core.NestSpec etc., or dope.PipeStage — generic
+// instantiations included).
+func litTypeName(info *types.Info, lit *ast.CompositeLit) string {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case protocol.CorePath:
+		switch obj.Name() {
+		case "NestSpec", "AltSpec", "StageSpec", "StageFns":
+			return obj.Name()
+		}
+	case "dope":
+		if obj.Name() == "PipeStage" {
+			return "PipeStage"
+		}
+	}
+	return ""
+}
+
+// fields maps a struct literal's element expressions by field name,
+// supporting both keyed and positional forms.
+func fields(info *types.Info, lit *ast.CompositeLit) map[string]ast.Expr {
+	m := make(map[string]ast.Expr)
+	tv, ok := info.Types[lit]
+	if !ok {
+		return m
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return m
+	}
+	for i, el := range lit.Elts {
+		if kv, keyed := el.(*ast.KeyValueExpr); keyed {
+			if id, isID := kv.Key.(*ast.Ident); isID {
+				m[id.Name] = kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			m[st.Field(i).Name()] = el
+		}
+	}
+	return m
+}
+
+// constString returns the constant string value of e, and whether e is a
+// string constant at all.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constInt returns the constant int value of e if there is one.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkName flags a constant-empty or missing Name field. kind names the
+// literal in the message.
+func checkName(pass *framework.Pass, lit *ast.CompositeLit, fs map[string]ast.Expr, kind string) {
+	if name, ok := fs["Name"]; ok {
+		if s, isConst := constString(pass.TypesInfo, name); isConst && s == "" {
+			pass.Reportf(name.Pos(), "%s with empty name", kind)
+		}
+		return
+	}
+	if len(fs) > 0 {
+		pass.Reportf(lit.Pos(), "%s literal without a Name", kind)
+	}
+}
+
+func checkNest(pass *framework.Pass, lit *ast.CompositeLit) {
+	fs := fields(pass.TypesInfo, lit)
+	checkName(pass, lit, fs, "nest")
+	alts, ok := fs["Alts"]
+	if !ok {
+		return
+	}
+	altsLit, ok := ast.Unparen(alts).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	if len(altsLit.Elts) == 0 {
+		pass.Reportf(altsLit.Pos(), "nest with no alternatives")
+		return
+	}
+	seen := make(map[string]bool)
+	for _, el := range altsLit.Elts {
+		inner := compositeOf(el)
+		if inner == nil {
+			continue
+		}
+		ifs := fields(pass.TypesInfo, inner)
+		if nameExpr, has := ifs["Name"]; has {
+			if s, isConst := constString(pass.TypesInfo, nameExpr); isConst && s != "" {
+				if seen[s] {
+					pass.Reportf(nameExpr.Pos(), "alternative %q declared twice in one nest", s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func checkAlt(pass *framework.Pass, lit *ast.CompositeLit) {
+	fs := fields(pass.TypesInfo, lit)
+	checkName(pass, lit, fs, "alternative")
+	if mk, ok := fs["Make"]; ok && isNil(pass.TypesInfo, mk) {
+		pass.Reportf(mk.Pos(), "alternative with nil Make factory")
+	}
+	stages, ok := fs["Stages"]
+	if !ok {
+		return
+	}
+	stagesLit, ok := ast.Unparen(stages).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	if len(stagesLit.Elts) == 0 {
+		pass.Reportf(stagesLit.Pos(), "alternative with no stages")
+		return
+	}
+	seen := make(map[string]bool)
+	for _, el := range stagesLit.Elts {
+		inner := compositeOf(el)
+		if inner == nil {
+			continue
+		}
+		ifs := fields(pass.TypesInfo, inner)
+		if nameExpr, has := ifs["Name"]; has {
+			if s, isConst := constString(pass.TypesInfo, nameExpr); isConst && s != "" {
+				if seen[s] {
+					pass.Reportf(nameExpr.Pos(), "stage %q declared twice in one alternative", s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func checkStage(pass *framework.Pass, lit *ast.CompositeLit) {
+	fs := fields(pass.TypesInfo, lit)
+	checkName(pass, lit, fs, "stage")
+	var minV, maxV int64
+	var hasMin, hasMax bool
+	if e, ok := fs["MinDoP"]; ok {
+		minV, hasMin = constInt(pass.TypesInfo, e)
+		if hasMin && minV < 0 {
+			pass.Reportf(e.Pos(), "stage with negative MinDoP")
+		}
+	}
+	if e, ok := fs["MaxDoP"]; ok {
+		maxV, hasMax = constInt(pass.TypesInfo, e)
+		if hasMax && maxV < 0 {
+			pass.Reportf(e.Pos(), "stage with negative MaxDoP")
+		}
+	}
+	if hasMin && hasMax && maxV > 0 && minV > maxV {
+		pass.Reportf(lit.Pos(), "stage with MinDoP > MaxDoP")
+	}
+}
+
+func checkPipeStage(pass *framework.Pass, lit *ast.CompositeLit) {
+	fs := fields(pass.TypesInfo, lit)
+	checkName(pass, lit, fs, "pipeline stage")
+	if fn, ok := fs["Fn"]; ok {
+		if isNil(pass.TypesInfo, fn) {
+			pass.Reportf(fn.Pos(), "pipeline stage with nil Fn")
+		}
+	} else if len(fs) > 0 {
+		pass.Reportf(lit.Pos(), "pipeline stage literal without an Fn")
+	}
+}
+
+// checkStageFns flags an explicitly-nil functor in a StageFns literal. A
+// missing Fn is only reported by checkStageFnsSlice, where the literal is
+// clearly final.
+func checkStageFns(pass *framework.Pass, lit *ast.CompositeLit) {
+	fs := fields(pass.TypesInfo, lit)
+	if fn, ok := fs["Fn"]; ok && isNil(pass.TypesInfo, fn) {
+		pass.Reportf(fn.Pos(), "stage with nil functor (Fn)")
+	}
+}
+
+// checkStageFnsSlice flags elements of a []core.StageFns literal that set
+// fields but no functor: these are handed to the executive as-is, so a
+// missing Fn fails every run of the alternative.
+func checkStageFnsSlice(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "StageFns" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != protocol.CorePath {
+		return
+	}
+	for _, el := range lit.Elts {
+		inner := compositeOf(el)
+		if inner == nil {
+			continue
+		}
+		if _, has := fields(pass.TypesInfo, inner)["Fn"]; !has {
+			pass.Reportf(inner.Pos(), "stage instance without a functor (Fn)")
+		}
+	}
+}
+
+// compositeOf unwraps &X{...} and elided {...} slice elements to the
+// composite literal.
+func compositeOf(e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, _ := e.(*ast.CompositeLit)
+	return lit
+}

@@ -1,0 +1,12 @@
+package nestspec_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/nestspec"
+)
+
+func TestNestSpec(t *testing.T) {
+	analysistest.Run(t, "../testdata", nestspec.Analyzer, "nestspec")
+}

@@ -1,0 +1,658 @@
+// Package protocol contains the shared machinery of the dope-vet analyzers:
+// recognizing Worker.Begin/End/RunNest calls and core.Status constants in
+// typed syntax, enumerating function bodies, and an abstract interpreter
+// that tracks the set of possible held-token depths through a function's
+// control flow (the stdlib stand-in for the x/tools ctrlflow pass).
+package protocol
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CorePath is the import path of the package defining Worker and Status.
+// The top-level dope package re-exports them as aliases, so matching on the
+// defining package covers both spellings.
+const CorePath = "dope/internal/core"
+
+// WorkerMethod returns the method name ("Begin", "End", "RunNest",
+// "Suspending", ...) if call is a method call on core.Worker, else "".
+func WorkerMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	if !isCoreNamed(s.Recv(), "Worker") {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// IsSuspended reports whether e denotes the core.Status constant Suspended
+// (including the dope.Suspended re-export).
+func IsSuspended(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if !isCoreNamed(tv.Type, "Status") {
+		return false
+	}
+	// Suspended is the only Status with value 1.
+	return tv.Value.ExactString() == "1"
+}
+
+// isCoreNamed reports whether t (or its pointee) is the named type
+// CorePath.name.
+func isCoreNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == CorePath
+}
+
+// Func is one function body analyzed as an independent unit.
+type Func struct {
+	Body *ast.BlockStmt
+	// Deferred marks a function literal that is the immediate callee of a
+	// defer statement: a cleanup body, exempt from End-without-Begin and
+	// status-check requirements.
+	Deferred bool
+}
+
+// Funcs enumerates every function body in the files: declarations and each
+// function literal, each as its own unit (the engine does not descend into
+// nested literals).
+func Funcs(files []*ast.File) []Func {
+	var fns []Func
+	deferred := make(map[*ast.FuncLit]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					deferred[lit] = true
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fns = append(fns, Func{Body: n.Body})
+				}
+			case *ast.FuncLit:
+				fns = append(fns, Func{Body: n.Body, Deferred: deferred[n]})
+			}
+			return true
+		})
+	}
+	return fns
+}
+
+// DepthMask is the set of possible held-token depths at a program point:
+// bit 0 = not holding, bit 1 = holding one token, bit 2 = two or more
+// (already a protocol violation). The zero mask means unreachable.
+type DepthMask uint8
+
+const (
+	D0 DepthMask = 1 << iota // depth 0
+	D1                       // depth 1
+	D2                       // depth ≥ 2
+)
+
+// CanHold reports whether any path reaches this point holding a token.
+func (m DepthMask) CanHold() bool { return m&(D1|D2) != 0 }
+
+// MustHold reports whether every path reaching this point holds a token.
+func (m DepthMask) MustHold() bool { return m != 0 && m&D0 == 0 }
+
+// inc is the transfer function of a successful Begin.
+func (m DepthMask) inc() DepthMask {
+	var r DepthMask
+	if m&D0 != 0 {
+		r |= D1
+	}
+	if m&(D1|D2) != 0 {
+		r |= D2
+	}
+	return r
+}
+
+// dec is the transfer function of End: a no-op at depth 0 (the runtime
+// tolerates an unbalanced End), releasing one token otherwise. Depth "≥2"
+// conservatively decrements to "≥1".
+func (m DepthMask) dec() DepthMask {
+	var r DepthMask
+	if m&D0 != 0 {
+		r |= D0
+	}
+	if m&D1 != 0 {
+		r |= D0
+	}
+	if m&D2 != 0 {
+		r |= D1 | D2
+	}
+	return r
+}
+
+// Hooks are the engine's callbacks. Any hook may be nil. Loop bodies are
+// interpreted twice to expose loop-carried imbalance, so a hook can fire
+// more than once for the same syntax node; clients must deduplicate by
+// position (the framework driver already drops identical findings).
+type Hooks struct {
+	// Begin fires at a Worker.Begin call with the depth-set before it.
+	Begin func(call *ast.CallExpr, before DepthMask)
+	// End fires at a non-deferred Worker.End call with the depth-set
+	// before it.
+	End func(call *ast.CallExpr, before DepthMask)
+	// Exit fires at each function exit — a return statement or falling off
+	// the end of the body — with the depth-set after deferred Ends ran.
+	// Not fired for exits that became unreachable, nor when the body
+	// contains a goto (the engine does not model goto).
+	Exit func(pos token.Pos, depth DepthMask)
+	// Stmt fires for each reachable simple statement, condition, or select
+	// statement with the depth-set in effect while it executes. Used to
+	// find work performed inside a Begin/End window.
+	Stmt func(n ast.Node, depth DepthMask)
+}
+
+// Engine interprets one function body over the DepthMask lattice.
+type Engine struct {
+	Info  *types.Info
+	Hooks Hooks
+}
+
+// state is the abstract state threaded through the walk.
+type state struct {
+	mask DepthMask
+	// deferred counts deferred Worker.End calls registered so far; each
+	// one closes a window at function exit.
+	deferred int
+}
+
+type walker struct {
+	*Engine
+	// loops is the stack of enclosing breakable statements with the masks
+	// collected from their break statements.
+	loops   []*loopCtx
+	hasGoto bool
+	// inComm suppresses the Stmt hook while interpreting a select comm
+	// statement: whether it blocks is a property of the whole select (a
+	// default clause makes it non-blocking), reported at the SelectStmt.
+	inComm bool
+}
+
+type loopCtx struct {
+	node     ast.Stmt  // *ast.ForStmt, *ast.RangeStmt, switch or select
+	breaks   DepthMask // union of masks at break statements
+	isLoop   bool      // continue targets this
+	contMask DepthMask
+}
+
+// Run interprets fn's body from depth 0.
+func (e *Engine) Run(fn Func) {
+	w := &walker{Engine: e}
+	// Pre-scan for goto: the engine does not model it, so exit reporting
+	// is disabled rather than wrong.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			w.hasGoto = true
+		}
+		return true
+	})
+	st := w.block(fn.Body, state{mask: D0})
+	if st.mask != 0 && !w.hasGoto {
+		w.exit(fn.Body.Rbrace, st)
+	}
+}
+
+func (w *walker) exit(pos token.Pos, st state) {
+	if w.Hooks.Exit == nil || w.hasGoto {
+		return
+	}
+	eff := st.mask
+	for i := 0; i < st.deferred; i++ {
+		eff = eff.dec()
+	}
+	w.Hooks.Exit(pos, eff)
+}
+
+func (w *walker) stmtHook(n ast.Node, m DepthMask) {
+	if w.Hooks.Stmt != nil && m != 0 && n != nil && !w.inComm {
+		w.Hooks.Stmt(n, m)
+	}
+}
+
+// block interprets a statement list.
+func (w *walker) block(b *ast.BlockStmt, st state) state {
+	if b == nil {
+		return st
+	}
+	for _, s := range b.List {
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) state {
+	if st.mask == 0 {
+		return st // unreachable
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.ExprStmt:
+		w.stmtHook(s, st.mask)
+		st.mask = w.expr(s.X, st.mask)
+		if isNoReturnCall(w.Info, s.X) {
+			st.mask = 0
+		}
+		return st
+
+	case *ast.SendStmt, *ast.IncDecStmt, *ast.GoStmt, *ast.EmptyStmt:
+		w.stmtHook(s, st.mask)
+		st.mask = w.exprsIn(s, st.mask)
+		return st
+
+	case *ast.AssignStmt:
+		w.stmtHook(s, st.mask)
+		st.mask = w.exprsIn(s, st.mask)
+		return st
+
+	case *ast.DeclStmt:
+		w.stmtHook(s, st.mask)
+		st.mask = w.exprsIn(s, st.mask)
+		return st
+
+	case *ast.DeferStmt:
+		if w.deferredEnds(s) > 0 {
+			st.deferred += w.deferredEnds(s)
+			return st
+		}
+		w.stmtHook(s, st.mask)
+		// Argument expressions evaluate now; the call itself runs at exit.
+		for _, a := range s.Call.Args {
+			st.mask = w.expr(a, st.mask)
+		}
+		return st
+
+	case *ast.ReturnStmt:
+		w.stmtHook(s, st.mask)
+		for _, r := range s.Results {
+			st.mask = w.expr(r, st.mask)
+		}
+		w.exit(s.Pos(), st)
+		st.mask = 0
+		return st
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if lc := w.findBreakable(s.Label); lc != nil {
+				lc.breaks |= st.mask
+			}
+		case token.CONTINUE:
+			if lc := w.findLoop(s.Label); lc != nil {
+				lc.contMask |= st.mask
+			}
+		}
+		st.mask = 0
+		return st
+
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+
+	case *ast.ForStmt:
+		return w.forStmt(s, st)
+
+	case *ast.RangeStmt:
+		return w.rangeStmt(s, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.stmtHook(s.Tag, st.mask)
+			st.mask = w.expr(s.Tag, st.mask)
+		}
+		return w.cases(s, s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		return w.cases(s, s.Body, st, true)
+
+	case *ast.SelectStmt:
+		w.stmtHook(s, st.mask)
+		return w.cases(s, s.Body, st, false)
+
+	default:
+		return st
+	}
+}
+
+// ifStmt models the two branches, with a special case for the protocol
+// idiom `if w.Begin() == core.Suspended { ... }`: on the Suspended branch
+// Begin did not claim a token, so the depth is unchanged there and
+// incremented only on the other branch.
+func (w *walker) ifStmt(s *ast.IfStmt, st state) state {
+	if s.Init != nil {
+		st = w.stmt(s.Init, st)
+	}
+	thenMask, elseMask, handled := w.condMasks(s.Cond, st.mask)
+	if !handled {
+		w.stmtHook(s.Cond, st.mask)
+		m := w.expr(s.Cond, st.mask)
+		thenMask, elseMask = m, m
+	}
+	thenSt := w.block(s.Body, state{mask: thenMask, deferred: st.deferred})
+	elseSt := state{mask: elseMask, deferred: st.deferred}
+	if s.Else != nil {
+		elseSt = w.stmt(s.Else, elseSt)
+	}
+	return state{
+		mask:     thenSt.mask | elseSt.mask,
+		deferred: max(thenSt.deferred, elseSt.deferred),
+	}
+}
+
+// condMasks recognizes `<worker Begin/End call> ==/!= Suspended` (either
+// operand order) and returns the branch-refined masks.
+func (w *walker) condMasks(cond ast.Expr, m DepthMask) (thenMask, elseMask DepthMask, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return 0, 0, false
+	}
+	call, susp := ast.Unparen(bin.X), bin.Y
+	c, isCall := call.(*ast.CallExpr)
+	if !isCall || WorkerMethod(w.Info, c) == "" {
+		c2, isCall2 := ast.Unparen(bin.Y).(*ast.CallExpr)
+		if !isCall2 || WorkerMethod(w.Info, c2) == "" {
+			return 0, 0, false
+		}
+		c, susp = c2, bin.X
+	}
+	if !IsSuspended(w.Info, susp) {
+		return 0, 0, false
+	}
+	method := WorkerMethod(w.Info, c)
+	switch method {
+	case "Begin":
+		if w.Hooks.Begin != nil {
+			w.Hooks.Begin(c, m)
+		}
+		suspMask, execMask := m, m.inc()
+		if bin.Op == token.EQL {
+			return suspMask, execMask, true
+		}
+		return execMask, suspMask, true
+	case "End":
+		if w.Hooks.End != nil {
+			w.Hooks.End(c, m)
+		}
+		after := m.dec()
+		return after, after, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// forStmt interprets the body twice so loop-carried imbalance (a Begin
+// whose End is missing across an iteration) surfaces as a double-Begin on
+// the second pass.
+func (w *walker) forStmt(s *ast.ForStmt, st state) state {
+	if s.Init != nil {
+		st = w.stmt(s.Init, st)
+	}
+	lc := &loopCtx{node: s, isLoop: true}
+	w.loops = append(w.loops, lc)
+	defer func() { w.loops = w.loops[:len(w.loops)-1] }()
+
+	entry := st.mask
+	if s.Cond != nil {
+		w.stmtHook(s.Cond, entry)
+		entry = w.expr(s.Cond, entry)
+	}
+	one := w.iterate(s.Body, s.Post, state{mask: entry, deferred: st.deferred}, lc)
+	if one.mask|lc.contMask != entry {
+		second := state{mask: entry | one.mask | lc.contMask, deferred: st.deferred}
+		one = w.iterate(s.Body, s.Post, second, lc)
+	}
+	after := lc.breaks
+	if s.Cond != nil {
+		// The condition may fail before the first or after any iteration.
+		after |= entry | one.mask | lc.contMask
+	}
+	return state{mask: after, deferred: max(st.deferred, one.deferred)}
+}
+
+func (w *walker) iterate(body *ast.BlockStmt, post ast.Stmt, st state, lc *loopCtx) state {
+	st = w.block(body, st)
+	st.mask |= lc.contMask
+	if post != nil && st.mask != 0 {
+		st = w.stmt(post, st)
+	}
+	return st
+}
+
+func (w *walker) rangeStmt(s *ast.RangeStmt, st state) state {
+	w.stmtHook(s, st.mask)
+	st.mask = w.expr(s.X, st.mask)
+	lc := &loopCtx{node: s, isLoop: true}
+	w.loops = append(w.loops, lc)
+	defer func() { w.loops = w.loops[:len(w.loops)-1] }()
+
+	entry := st.mask
+	one := w.iterate(s.Body, nil, state{mask: entry, deferred: st.deferred}, lc)
+	if one.mask|lc.contMask != entry {
+		one = w.iterate(s.Body, nil,
+			state{mask: entry | one.mask | lc.contMask, deferred: st.deferred}, lc)
+	}
+	after := lc.breaks | entry | one.mask | lc.contMask
+	return state{mask: after, deferred: max(st.deferred, one.deferred)}
+}
+
+// cases interprets the clause bodies of a switch or select and joins their
+// exits. withImplicit adds the entry mask to the join when no default
+// clause exists (the whole statement may be skipped).
+func (w *walker) cases(node ast.Stmt, body *ast.BlockStmt, st state, withImplicit bool) state {
+	lc := &loopCtx{node: node}
+	w.loops = append(w.loops, lc)
+	defer func() { w.loops = w.loops[:len(w.loops)-1] }()
+
+	var out DepthMask
+	hasDefault := false
+	maxDef := st.deferred
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		cs := state{mask: st.mask, deferred: st.deferred}
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.stmtHook(e, st.mask)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.inComm = true
+				cs = w.stmt(c.Comm, cs)
+				w.inComm = false
+			}
+			stmts = c.Body
+		}
+		for _, s := range stmts {
+			cs = w.stmt(s, cs)
+		}
+		out |= cs.mask
+		maxDef = max(maxDef, cs.deferred)
+	}
+	if withImplicit && !hasDefault {
+		out |= st.mask
+	}
+	out |= lc.breaks
+	return state{mask: out, deferred: maxDef}
+}
+
+// expr walks an expression in evaluation-ish order applying Begin/End
+// transitions, without descending into function literals.
+func (w *walker) expr(e ast.Expr, m DepthMask) DepthMask {
+	if e == nil || m == 0 {
+		return m
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch WorkerMethod(w.Info, call) {
+		case "Begin":
+			if w.Hooks.Begin != nil {
+				w.Hooks.Begin(call, m)
+			}
+			m = m.inc()
+		case "End":
+			if w.Hooks.End != nil {
+				w.Hooks.End(call, m)
+			}
+			m = m.dec()
+		}
+		return true
+	})
+	return m
+}
+
+// exprsIn applies expr to every expression directly under a simple
+// statement.
+func (w *walker) exprsIn(s ast.Stmt, m DepthMask) DepthMask {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		m = w.expr(s.Chan, m)
+		m = w.expr(s.Value, m)
+	case *ast.IncDecStmt:
+		m = w.expr(s.X, m)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			m = w.expr(a, m)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			m = w.expr(r, m)
+		}
+		for _, l := range s.Lhs {
+			m = w.expr(l, m)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						m = w.expr(v, m)
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// deferredEnds counts Worker.End calls a defer statement will run at exit:
+// `defer w.End()` directly, or End calls inside a deferred function
+// literal.
+func (w *walker) deferredEnds(s *ast.DeferStmt) int {
+	if WorkerMethod(w.Info, s.Call) == "End" {
+		return 1
+	}
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return 0
+	}
+	n := 0
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && WorkerMethod(w.Info, call) == "End" {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func (w *walker) findBreakable(label *ast.Ident) *loopCtx {
+	// Labels are approximated by the nearest enclosing breakable.
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+func (w *walker) findLoop(label *ast.Ident) *loopCtx {
+	for i := len(w.loops) - 1; i >= 0; i-- {
+		if w.loops[i].isLoop {
+			return w.loops[i]
+		}
+	}
+	return nil
+}
+
+// isNoReturnCall recognizes calls that terminate the path: panic, os.Exit,
+// runtime.Goexit, log.Fatal*, and testing's Fatal/Skip family.
+func isNoReturnCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		obj := info.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return name == "Exit"
+		case "runtime":
+			return name == "Goexit"
+		case "log":
+			return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+		case "testing":
+			switch name {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+	}
+	return false
+}

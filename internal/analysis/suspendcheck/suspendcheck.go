@@ -1,0 +1,100 @@
+// Package suspendcheck checks that a functor which brackets CPU sections
+// consults the core.Status returned by Worker.Begin or Worker.End. Begin
+// and End report Suspended when the executive needs the worker to stop (a
+// whole-run suspension or a slot retired by an in-place shrink, the
+// paper's suspend→drain→reconfigure protocol); a functor that discards
+// every status never observes the request and stalls reconfiguration.
+//
+// The check is per function: at least one Begin/End status in the body
+// must be used (compared, assigned to a non-blank variable, or returned).
+// Deferred Ends are exempt — a deferred call's result cannot be consulted.
+// Drain stages whose exit is driven by the upstream queue closing may
+// deliberately ignore the statuses; such sites carry a
+// `//dopevet:ignore suspendcheck <reason>` comment.
+package suspendcheck
+
+import (
+	"go/ast"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "suspendcheck",
+	Doc: "check that the Status returned by Worker.Begin/End is compared " +
+		"against Suspended rather than discarded, so suspension and slot " +
+		"retirement are observed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, fn := range protocol.Funcs(pass.Files) {
+		if fn.Deferred {
+			continue
+		}
+		var discarded []*ast.CallExpr
+		classified := make(map[*ast.CallExpr]bool)
+		used := false
+		// Walk the body without descending into nested function literals
+		// (each is its own unit) and classify every Begin/End call.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				return false // deferred End cannot be consulted
+			case *ast.ExprStmt:
+				if call := statusCall(pass, n.X); call != nil {
+					discarded = append(discarded, call)
+					classified[call] = true
+				}
+			case *ast.AssignStmt:
+				// `_ = w.Begin()` is still a discard; any other
+				// assignment makes the status observable.
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if call := statusCall(pass, rhs); call != nil {
+							classified[call] = true
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								discarded = append(discarded, call)
+							} else {
+								used = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// A Begin/End reached here unclassified sits inside a
+				// larger expression (comparison, return, argument): used.
+				if !classified[n] {
+					if m := protocol.WorkerMethod(pass.TypesInfo, n); m == "Begin" || m == "End" {
+						used = true
+					}
+				}
+			}
+			return true
+		})
+		if !used && len(discarded) > 0 {
+			call := discarded[0]
+			pass.Reportf(call.Pos(),
+				"functor discards every Worker.%s status; compare at least one Begin/End result against core.Suspended (or suppress for drain stages)",
+				protocol.WorkerMethod(pass.TypesInfo, call))
+		}
+	}
+	return nil
+}
+
+// statusCall returns the call if e is exactly a Worker.Begin or Worker.End
+// call (possibly parenthesized), else nil.
+func statusCall(pass *framework.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	switch protocol.WorkerMethod(pass.TypesInfo, call) {
+	case "Begin", "End":
+		return call
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package suspendcheck_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/suspendcheck"
+)
+
+func TestSuspendCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", suspendcheck.Analyzer, "suspendcheck")
+}

@@ -1,0 +1,50 @@
+// Seeded violations for the beginend analyzer.
+package beginend
+
+import "dope/internal/core"
+
+func doubleBegin(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	w.Begin() // want `Worker.Begin while already inside a Begin/End section`
+	w.End()
+	// The second context can never be proven released again.
+	return w.End() // want `functor may return while holding a platform context`
+}
+
+func endWithoutBegin(w *core.Worker) core.Status {
+	return w.End() // want `Worker.End without a matching Worker.Begin`
+}
+
+func leaks(w *core.Worker) core.Status {
+	w.Begin()
+	return core.Executing // want `functor returns while still holding a platform context`
+}
+
+func leaksAtBrace(w *core.Worker) {
+	w.Begin()
+} // want `functor returns while still holding a platform context`
+
+func maybeLeaks(w *core.Worker, heavy bool) core.Status {
+	if heavy {
+		w.Begin()
+	}
+	return core.Executing // want `functor may return while holding a platform context`
+}
+
+func maybeDoubleBegin(w *core.Worker, heavy bool) core.Status {
+	if heavy {
+		w.Begin()
+	}
+	w.Begin()      // want `Worker.Begin may run inside an open Begin/End section`
+	return w.End() // want `functor may return while holding a platform context`
+}
+
+// loopCarried leaves the window open across iterations: the second abstract
+// pass over the body sees the leftover token.
+func loopCarried(w *core.Worker, items []int) {
+	for range items {
+		w.Begin() // want `Worker.Begin may run inside an open Begin/End section`
+	}
+} // want `functor may return while holding a platform context`

@@ -1,0 +1,90 @@
+// False-positive regression cases for the beginend analyzer: every function
+// here is protocol-correct and must produce no diagnostics.
+package beginend
+
+import "dope/internal/core"
+
+// deferredEnd closes the window with a defer — the canonical cleanup shape.
+func deferredEnd(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	defer w.End()
+	return core.Executing
+}
+
+// deferredFuncLit closes the window inside a deferred function literal; the
+// literal itself is a cleanup body and is not flagged either.
+func deferredFuncLit(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	defer func() {
+		w.End()
+	}()
+	return core.Executing
+}
+
+// suspensionIdiom is the documented head-stage shape: the Suspended branch
+// never claimed a context, so returning there is balanced.
+func suspensionIdiom(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	return w.End()
+}
+
+// balancedLoop opens and closes the window once per iteration.
+func balancedLoop(w *core.Worker, items []int) {
+	for range items {
+		if w.Begin() == core.Suspended {
+			return
+		}
+		w.End()
+	}
+}
+
+// balancedBranches ends the window on both arms.
+func balancedBranches(w *core.Worker, fast bool) core.Status {
+	w.Begin()
+	if fast {
+		return w.End()
+	}
+	return w.End()
+}
+
+// helperWindow is a helper, not a functor: a complete window inside a helper
+// the functor calls is fine and must not confuse the caller's analysis.
+func helperWindow(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	return w.End()
+}
+
+func callsHelper(w *core.Worker) core.Status {
+	for i := 0; i < 3; i++ {
+		if helperWindow(w) == core.Suspended {
+			return core.Suspended
+		}
+	}
+	return core.Finished
+}
+
+// panicPath does not need an End on a path that cannot return.
+func panicPath(w *core.Worker, ok bool) core.Status {
+	w.Begin()
+	if !ok {
+		panic("invariant violated")
+	}
+	return w.End()
+}
+
+// suppressed carries the escape hatch for a shape the engine cannot prove.
+func suppressed(w *core.Worker, done chan struct{}) core.Status {
+	w.Begin()
+	go func() {
+		<-done
+	}()
+	return core.Executing //dopevet:ignore beginend ownership handed to the monitor goroutine
+}

@@ -1,0 +1,24 @@
+// Package dope is the fixture stub of the top-level dope package: the
+// re-exported aliases and the PipeStage builder type.
+package dope
+
+import "dope/internal/core"
+
+type (
+	Worker   = core.Worker
+	Status   = core.Status
+	NestSpec = core.NestSpec
+)
+
+const (
+	Executing = core.Executing
+	Suspended = core.Suspended
+	Finished  = core.Finished
+)
+
+type PipeStage[T any] struct {
+	Name           string
+	Par            bool
+	MinDoP, MaxDoP int
+	Fn             func(item T, extent int) T
+}

@@ -1,0 +1,62 @@
+// Package core is the fixture stub of dope/internal/core: the same import
+// path, type names, and signatures the analyzers match on, with no behavior.
+package core
+
+type Status int
+
+const (
+	Executing Status = iota
+	Suspended
+	Finished
+)
+
+type TaskType int
+
+const (
+	SEQ TaskType = iota
+	PAR
+)
+
+type Worker struct{}
+
+func (w *Worker) Begin() Status    { return Executing }
+func (w *Worker) End() Status      { return Executing }
+func (w *Worker) Suspending() bool { return false }
+func (w *Worker) Extent() int      { return 1 }
+func (w *Worker) Item() any        { return nil }
+
+func (w *Worker) RunNest(spec *NestSpec, item any) (Status, error) {
+	return Executing, nil
+}
+
+type Functor func(w *Worker) Status
+
+type StageFns struct {
+	Fn   Functor
+	Load func() float64
+	Init func()
+	Fini func()
+}
+
+type AltInstance struct {
+	Stages []StageFns
+}
+
+type StageSpec struct {
+	Name   string
+	Type   TaskType
+	MinDoP int
+	MaxDoP int
+	Nest   *NestSpec
+}
+
+type AltSpec struct {
+	Name   string
+	Stages []StageSpec
+	Make   func(item any) (*AltInstance, error)
+}
+
+type NestSpec struct {
+	Name string
+	Alts []*AltSpec
+}

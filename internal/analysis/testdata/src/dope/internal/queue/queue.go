@@ -1,0 +1,18 @@
+// Package queue is the fixture stub of dope/internal/queue.
+package queue
+
+import "time"
+
+type Queue[T any] struct{}
+
+func (q *Queue[T]) Enqueue(item T) error { return nil }
+
+func (q *Queue[T]) Dequeue() (T, error) {
+	var zero T
+	return zero, nil
+}
+
+func (q *Queue[T]) DequeueWhile(keepWaiting func() bool, poll time.Duration) (T, bool, error) {
+	var zero T
+	return zero, false, nil
+}

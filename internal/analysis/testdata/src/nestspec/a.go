@@ -1,0 +1,68 @@
+// Seeded violations for the nestspec analyzer.
+package nestspec
+
+import (
+	"dope"
+	"dope/internal/core"
+)
+
+func fn(w *core.Worker) core.Status { return core.Executing }
+
+func mk(item any) (*core.AltInstance, error) { return &core.AltInstance{}, nil }
+
+var emptyNest = &core.NestSpec{
+	Name: "",                // want `nest with empty name`
+	Alts: []*core.AltSpec{}, // want `nest with no alternatives`
+}
+
+var dupAlts = &core.NestSpec{
+	Name: "loop",
+	Alts: []*core.AltSpec{
+		{Name: "pipeline", Make: mk, Stages: []core.StageSpec{{Name: "s0"}}},
+		{Name: "pipeline", Make: mk, Stages: []core.StageSpec{{Name: "s0"}}}, // want `alternative "pipeline" declared twice in one nest`
+	},
+}
+
+var nilMake = core.AltSpec{
+	Name: "fused",
+	Make: nil, // want `alternative with nil Make factory`
+}
+
+var dupStages = core.AltSpec{
+	Name: "pipeline",
+	Make: mk,
+	Stages: []core.StageSpec{
+		{Name: "decode"},
+		{Name: "decode"}, // want `stage "decode" declared twice in one alternative`
+	},
+}
+
+var negDoP = core.StageSpec{
+	Name:   "encode",
+	MinDoP: -1, // want `stage with negative MinDoP`
+}
+
+var invertedDoP = core.StageSpec{ // want `stage with MinDoP > MaxDoP`
+	Name:   "encode",
+	MinDoP: 4,
+	MaxDoP: 2,
+}
+
+var nilFn = core.StageFns{
+	Fn: nil, // want `stage with nil functor \(Fn\)`
+}
+
+var missingFn = core.AltInstance{
+	Stages: []core.StageFns{
+		{Init: func() {}}, // want `stage instance without a functor \(Fn\)`
+	},
+}
+
+var badPipeStage = dope.PipeStage[int]{
+	Name: "",  // want `pipeline stage with empty name`
+	Fn:   nil, // want `pipeline stage with nil Fn`
+}
+
+var anonPipeStage = dope.PipeStage[int]{ // want `pipeline stage literal without a Name`
+	Fn: func(v int, extent int) int { return v },
+}

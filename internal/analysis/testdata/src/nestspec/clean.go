@@ -1,0 +1,47 @@
+// False-positive regression cases for the nestspec analyzer: silent.
+package nestspec
+
+import (
+	"dope"
+	"dope/internal/core"
+)
+
+// dynamic builds a spec from runtime values; nothing here is statically
+// decidable, so nothing may be flagged.
+func dynamic(name string, min, max int) *core.NestSpec {
+	return &core.NestSpec{
+		Name: name,
+		Alts: []*core.AltSpec{
+			{
+				Name: name + "-pipeline",
+				Make: mk,
+				Stages: []core.StageSpec{
+					{Name: name + "-s0", Type: core.PAR, MinDoP: min, MaxDoP: max},
+				},
+			},
+		},
+	}
+}
+
+// zeroValue carries no intent (a variable to be filled in later).
+var zeroValue = core.StageSpec{}
+
+// positional exercises the unkeyed-literal field mapping.
+var positional = core.StageSpec{"s0", core.PAR, 1, 4, nil}
+
+// unboundedMax: MaxDoP 0 means unbounded, so MinDoP 4 is consistent.
+var unboundedMax = core.StageSpec{
+	Name:   "s0",
+	MinDoP: 4,
+	MaxDoP: 0,
+}
+
+var okPipeStage = dope.PipeStage[int]{
+	Name: "double",
+	Par:  true,
+	Fn:   func(v int, extent int) int { return 2 * v },
+}
+
+var okFns = []core.StageFns{
+	{Fn: fn, Init: func() {}, Fini: func() {}},
+}

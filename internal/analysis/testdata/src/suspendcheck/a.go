@@ -1,0 +1,20 @@
+// Seeded violations for the suspendcheck analyzer.
+package suspendcheck
+
+import "dope/internal/core"
+
+func compute() {}
+
+func discardsBoth(w *core.Worker) core.Status {
+	w.Begin() // want `discards every Worker\.Begin status`
+	compute()
+	w.End()
+	return core.Executing
+}
+
+func blankDiscard(w *core.Worker) core.Status {
+	_ = w.Begin() // want `discards every Worker\.Begin status`
+	compute()
+	_ = w.End()
+	return core.Executing
+}

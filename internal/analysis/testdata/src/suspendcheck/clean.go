@@ -1,0 +1,66 @@
+// False-positive regression cases for the suspendcheck analyzer: silent.
+package suspendcheck
+
+import "dope/internal/core"
+
+// checksBegin consults the Begin status; the drained End may be discarded.
+func checksBegin(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	compute()
+	w.End()
+	return core.Executing
+}
+
+// checksEnd consults the End status through a variable.
+func checksEnd(w *core.Worker) core.Status {
+	w.Begin()
+	compute()
+	st := w.End()
+	if st == core.Suspended {
+		return core.Suspended
+	}
+	return core.Executing
+}
+
+// returnsStatus propagates the End status to the caller.
+func returnsStatus(w *core.Worker) core.Status {
+	w.Begin()
+	compute()
+	return w.End()
+}
+
+// deferredEnd: a deferred End's result cannot be consulted and is exempt.
+func deferredEnd(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	defer w.End()
+	compute()
+	return core.Executing
+}
+
+// cleanupLit: an End inside a deferred function literal is likewise exempt,
+// and the literal itself is not treated as a discarding functor.
+func cleanupLit(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	defer func() {
+		w.End()
+	}()
+	compute()
+	return core.Executing
+}
+
+// drainStage deliberately ignores the statuses: its exit is driven by the
+// upstream queue closing, so it carries the documented suppression.
+func drainStage(w *core.Worker, in chan int) {
+	for v := range in {
+		w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream close
+		_ = v
+		compute()
+		w.End()
+	}
+}

@@ -1,0 +1,57 @@
+// False-positive regression cases for the tokenhold analyzer: silent.
+package tokenhold
+
+import (
+	"time"
+
+	"dope/internal/core"
+)
+
+// outsideWindow does its channel work strictly outside the Begin/End window.
+func outsideWindow(w *core.Worker, in, out chan int) core.Status {
+	v, ok := <-in
+	if !ok {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	compute()
+	st := w.End()
+	out <- v
+	return st
+}
+
+// nonBlockingSelect has a default clause, so it cannot park the context.
+func nonBlockingSelect(w *core.Worker, in chan int) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	select {
+	case v := <-in:
+		_ = v
+	default:
+	}
+	return w.End()
+}
+
+// spawns blocks only inside a new goroutine, which does not hold the token.
+func spawns(w *core.Worker, done chan struct{}) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	go func() {
+		<-done
+	}()
+	return w.End()
+}
+
+// simulatedWork burns CPU time with a sleep on purpose (an example workload)
+// and carries the documented suppression.
+func simulatedWork(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	time.Sleep(time.Microsecond) //dopevet:ignore tokenhold simulated CPU burn for the example
+	return w.End()
+}

@@ -1,0 +1,177 @@
+// Package tokenhold checks that no blocking operation runs between
+// Worker.Begin and Worker.End. Begin claims one of the platform's hardware
+// contexts and End releases it (the paper's Task interface); blocking while
+// holding the token — a channel operation, a mutex, a sleep, file or
+// network I/O, or running a nested loop via Worker.RunNest — parks a
+// context the executive believes is executing, corrupting the monitors'
+// execution-time features and starving other stages of contexts.
+//
+// The analysis is intraprocedural: work done behind a helper call is not
+// inspected (a helper that blocks must be annotated or fixed at its own
+// Begin/End window).
+package tokenhold
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "tokenhold",
+	Doc: "check that no blocking operation (channel send/receive, select, " +
+		"mutex lock, sleep, I/O, Worker.RunNest) runs between Worker.Begin " +
+		"and Worker.End while a platform context is held",
+	Run: run,
+}
+
+// blockingFuncs maps package-level functions known to block.
+var blockingFuncs = map[[2]string]bool{
+	{"time", "Sleep"}:        true,
+	{"os", "Open"}:           true,
+	{"os", "Create"}:         true,
+	{"os", "ReadFile"}:       true,
+	{"os", "WriteFile"}:      true,
+	{"io", "Copy"}:           true,
+	{"io", "ReadAll"}:        true,
+	{"net", "Dial"}:          true,
+	{"net", "DialTimeout"}:   true,
+	{"net", "Listen"}:        true,
+	{"net/http", "Get"}:      true,
+	{"net/http", "Post"}:     true,
+	{"net/http", "Head"}:     true,
+	{"net/http", "PostForm"}: true,
+}
+
+// blockingMethods maps (package, type, method) for methods known to block.
+var blockingMethods = map[[3]string]bool{
+	{"sync", "Mutex", "Lock"}:                        true,
+	{"sync", "RWMutex", "Lock"}:                      true,
+	{"sync", "RWMutex", "RLock"}:                     true,
+	{"sync", "WaitGroup", "Wait"}:                    true,
+	{"sync", "Cond", "Wait"}:                         true,
+	{"sync", "Once", "Do"}:                           true,
+	{"os", "File", "Read"}:                           true,
+	{"os", "File", "Write"}:                          true,
+	{"os", "File", "Sync"}:                           true,
+	{"net/http", "Client", "Do"}:                     true,
+	{"net/http", "Client", "Get"}:                    true,
+	{"net/http", "Client", "Post"}:                   true,
+	{"os/exec", "Cmd", "Run"}:                        true,
+	{"os/exec", "Cmd", "Wait"}:                       true,
+	{"os/exec", "Cmd", "Output"}:                     true,
+	{"os/exec", "Cmd", "CombinedOutput"}:             true,
+	{"dope/internal/queue", "Queue", "Enqueue"}:      true,
+	{"dope/internal/queue", "Queue", "Dequeue"}:      true,
+	{"dope/internal/queue", "Queue", "DequeueWhile"}: true,
+}
+
+func run(pass *framework.Pass) error {
+	info := pass.TypesInfo
+	for _, fn := range protocol.Funcs(pass.Files) {
+		eng := &protocol.Engine{
+			Info: info,
+			Hooks: protocol.Hooks{
+				Stmt: func(n ast.Node, depth protocol.DepthMask) {
+					if !depth.CanHold() {
+						return
+					}
+					check(pass, n)
+				},
+			},
+		}
+		eng.Run(fn)
+	}
+	return nil
+}
+
+// check inspects one reachable statement or condition executed while a
+// token may be held.
+func check(pass *framework.Pass, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return // a default clause makes the select non-blocking
+			}
+		}
+		report(pass, n.Pos(), "select")
+		return
+	case *ast.RangeStmt:
+		if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				report(pass, n.Pos(), "range over a channel")
+			}
+		}
+		return
+	case *ast.SendStmt:
+		report(pass, n.Arrow, "channel send")
+		// fall through to inspect value expressions below
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				report(pass, m.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if op := blockingCall(pass.TypesInfo, m); op != "" {
+				report(pass, m.Pos(), op)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *framework.Pass, pos token.Pos, op string) {
+	pass.Reportf(pos, "blocking %s while holding a platform context (move it outside the Begin/End window)", op)
+}
+
+// blockingCall classifies a call as a known blocking operation and returns
+// a description, or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	if m := protocol.WorkerMethod(info, call); m != "" {
+		if m == "RunNest" {
+			return "Worker.RunNest (waits for a nested loop)"
+		}
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := obj.Pkg().Path()
+	name := sel.Sel.Name
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if p, isPtr := recv.(*types.Pointer); isPtr {
+			recv = p.Elem()
+		}
+		named, isNamed := recv.(*types.Named)
+		if !isNamed {
+			return ""
+		}
+		tn := named.Obj()
+		if tn.Pkg() == nil {
+			return ""
+		}
+		if blockingMethods[[3]string{tn.Pkg().Path(), tn.Name(), name}] {
+			return fmt.Sprintf("call to (%s.%s).%s", tn.Pkg().Name(), tn.Name(), name)
+		}
+		return ""
+	}
+	if blockingFuncs[[2]string{pkg, name}] {
+		return fmt.Sprintf("call to %s.%s", obj.Pkg().Name(), name)
+	}
+	return ""
+}

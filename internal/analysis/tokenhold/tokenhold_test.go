@@ -1,0 +1,12 @@
+package tokenhold_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/tokenhold"
+)
+
+func TestTokenHold(t *testing.T) {
+	analysistest.Run(t, "../testdata", tokenhold.Analyzer, "tokenhold")
+}

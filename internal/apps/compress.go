@@ -81,7 +81,9 @@ func compressPipelineAlt(p CompressParams) *core.AltSpec {
 						if next >= p.Blocks {
 							return core.Finished
 						}
-						w.Begin()
+						if w.Begin() == core.Suspended {
+							return core.Suspended
+						}
 						scan := blockUnits / 16
 						if !startupPaid {
 							scan += blockUnits * p.StartupBlocks
@@ -104,10 +106,15 @@ func compressPipelineAlt(p CompressParams) *core.AltSpec {
 						if err != nil {
 							return core.Finished
 						}
+						// The block is already claimed: finish and forward it,
+						// then propagate a Suspended window.
 						w.Begin()
 						Work(InflatedUnits(b.units, w.Extent(), p.Sigma))
-						w.End()
+						st := w.End()
 						q2.Enqueue(b)
+						if st == core.Suspended {
+							return core.Suspended
+						}
 						return core.Executing
 					},
 					Load: func() float64 { return float64(q1.Len()) },
@@ -122,7 +129,9 @@ func compressPipelineAlt(p CompressParams) *core.AltSpec {
 						}
 						w.Begin()
 						Work(b.units / 16)
-						w.End()
+						if w.End() == core.Suspended {
+							return core.Suspended
+						}
 						return core.Executing
 					},
 					Load: func() float64 { return float64(q2.Len()) },
@@ -150,10 +159,14 @@ func compressFusedAlt(p CompressParams) *core.AltSpec {
 					if done >= p.Blocks {
 						return core.Finished
 					}
-					w.Begin()
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
 					Work(blockUnits + blockUnits/8)
 					done++
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 			}}}, nil

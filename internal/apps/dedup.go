@@ -142,9 +142,11 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 							return core.Suspended
 						}
 						start := s.clock.Now()
+						// The request is already claimed: chunk and forward
+						// it before propagating a Suspended window.
 						w.Begin()
 						Work(p.UnitsPerChunk / 8)
-						w.End()
+						st := w.End()
 						remaining := &atomic.Int64{}
 						remaining.Store(int64(p.ChunksPerItem))
 						for i := 0; i < p.ChunksPerItem; i++ {
@@ -152,6 +154,9 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 								parent: req, start: start, remaining: remaining,
 								seed: chunkSeed(req.ID, i, p.DupPeriod),
 							})
+						}
+						if st == core.Suspended {
+							return core.Suspended
 						}
 						return core.Executing
 					},
@@ -165,7 +170,9 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 						if err != nil {
 							return core.Finished
 						}
-						w.Begin()
+						// Drain stage: exits via q1 closing so queued chunks
+						// survive an alternative switch.
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						hashWork(&c)
 						w.End()
 						q2.Enqueue(c)
@@ -181,7 +188,7 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 						if err != nil {
 							return core.Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						compressWork(&c, w.Extent())
 						w.End()
 						q3.Enqueue(c)
@@ -197,7 +204,7 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 						if err != nil {
 							return core.Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						writeWork(c)
 						w.End()
 						return core.Executing
@@ -241,7 +248,9 @@ func NewDedup(s *Server, p DedupParams) *core.NestSpec {
 						compressWork(&c, w.Extent())
 						writeWork(c)
 					}
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 				Load: func() float64 { return float64(s.Work.Len()) },

@@ -119,10 +119,15 @@ func NewFerret(s *Server, p FerretParams) *core.NestSpec {
 						return core.Suspended
 					}
 					it := fitem{req: req, start: s.clock.Now()}
+					// The request is already claimed: load and forward it
+					// before propagating a Suspended window.
 					w.Begin()
 					Work(stageUnits(0, req.Size))
-					w.End()
+					st := w.End()
 					qs[0].Enqueue(it)
+					if st == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 				Load: func() float64 { return float64(s.Work.Len()) },
@@ -139,7 +144,7 @@ func NewFerret(s *Server, p FerretParams) *core.NestSpec {
 						if err != nil {
 							return core.Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						work(stageIdx, it, w.Extent())
 						w.End()
 						out.Enqueue(it)
@@ -156,7 +161,7 @@ func NewFerret(s *Server, p FerretParams) *core.NestSpec {
 					if err != nil {
 						return core.Finished
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 					finish(it)
 					w.End()
 					return core.Executing
@@ -196,7 +201,9 @@ func NewFerret(s *Server, p FerretParams) *core.NestSpec {
 					}
 					Work(units)
 					finish(it)
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 				Load: func() float64 { return float64(s.Work.Len()) },

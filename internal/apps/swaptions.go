@@ -75,9 +75,13 @@ func doallAlt(stage string, p doallParams) *core.AltSpec {
 					if i >= int64(p.chunks) {
 						return core.Finished
 					}
+					// Chunk i is already claimed (next was advanced), so it
+					// is priced even when the window reports Suspended.
 					w.Begin()
 					Work(InflatedUnits(units, w.Extent(), p.sigma))
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 				Load: func() float64 {
@@ -110,10 +114,14 @@ func seqSweepAlt(stage string, chunks, unitsPerChunk int) *core.AltSpec {
 					if done >= chunks {
 						return core.Finished
 					}
-					w.Begin()
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
 					Work(units)
 					done++
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 			}}}, nil

@@ -82,7 +82,9 @@ func transcodePipelineAlt(p TranscodeParams) *core.AltSpec {
 						if next >= p.Frames {
 							return core.Finished
 						}
-						w.Begin()
+						if w.Begin() == core.Suspended {
+							return core.Suspended
+						}
 						Work(frameUnits / readShare)
 						f := frame{index: next, units: frameUnits}
 						next++
@@ -100,10 +102,15 @@ func transcodePipelineAlt(p TranscodeParams) *core.AltSpec {
 						if err != nil {
 							return core.Finished
 						}
+						// The frame is already claimed: encode and forward it,
+						// then propagate a Suspended window.
 						w.Begin()
 						Work(InflatedUnits(f.units, w.Extent(), p.Sigma))
-						w.End()
+						st := w.End()
 						q2.Enqueue(f)
+						if st == core.Suspended {
+							return core.Suspended
+						}
 						return core.Executing
 					},
 					Load: func() float64 { return float64(q1.Len()) },
@@ -119,7 +126,9 @@ func transcodePipelineAlt(p TranscodeParams) *core.AltSpec {
 						w.Begin()
 						Work(f.units / writeShare)
 						written++
-						w.End()
+						if w.End() == core.Suspended {
+							return core.Suspended
+						}
 						return core.Executing
 					},
 					Load: func() float64 { return float64(q2.Len()) },
@@ -148,10 +157,14 @@ func transcodeFusedAlt(p TranscodeParams) *core.AltSpec {
 					if next >= p.Frames {
 						return core.Finished
 					}
-					w.Begin()
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
 					Work(frameUnits/readShare + frameUnits + frameUnits/writeShare)
 					next++
-					w.End()
+					if w.End() == core.Suspended {
+						return core.Suspended
+					}
 					return core.Executing
 				},
 			}}}, nil

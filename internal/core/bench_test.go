@@ -23,7 +23,7 @@ func BenchmarkBeginEnd(b *testing.B) {
 					if int(iters.Add(1)) > b.N {
 						return Finished
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck benchmark runs under a static configuration; statuses are irrelevant
 					w.End()
 					return Executing
 				},

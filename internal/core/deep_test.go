@@ -62,7 +62,7 @@ func threeLevelSpec(work *queue.Queue[int], frames *atomic.Int64) *NestSpec {
 					if n.Add(1) > 4 {
 						return Finished
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck finite test loop: exits via its own counter
 					frames.Add(1)
 					w.End()
 					return Executing

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ type Exec struct {
 	// races.
 	installMu       sync.Mutex
 	respawnOnResize bool
+	protocolCheck   bool
 
 	cfg     atomic.Pointer[Config]
 	curRun  atomic.Pointer[run]
@@ -151,6 +153,17 @@ func WithClock(c platform.Clock) Option {
 	}
 }
 
+// WithProtocolCheck arms the runtime Begin/End misuse detector: a functor
+// that calls Begin twice without an intervening End, calls End without a
+// Begin, or enters RunNest while holding a platform context panics with a
+// "dope: protocol violation" message instead of silently corrupting the
+// monitors. The panic is recovered by the worker loop and surfaces as the
+// run's error. Also enabled by DOPE_DEBUG=1 in the environment. The static
+// counterpart is cmd/dope-vet.
+func WithProtocolCheck() Option {
+	return func(e *Exec) { e.protocolCheck = true }
+}
+
 // WithTrace installs a callback that receives executive events
 // (reconfigurations, suspensions, completion). The callback must be fast
 // and must not call back into the Exec.
@@ -200,6 +213,9 @@ func New(root *NestSpec, opts ...Option) (*Exec, error) {
 		interval: 10 * time.Millisecond,
 		doneCh:   make(chan struct{}),
 		ctrlCh:   make(chan struct{}),
+	}
+	if os.Getenv("DOPE_DEBUG") == "1" {
+		e.protocolCheck = true
 	}
 	for _, o := range opts {
 		o(e)

@@ -40,7 +40,7 @@ func doallSpec(work *queue.Queue[int], processed *atomic.Int64) *NestSpec {
 					}
 					// The item is already claimed: even if Begin reports
 					// Suspended, process it so no work is lost.
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
 					_ = v
 					processed.Add(1)
 					w.End()
@@ -95,7 +95,7 @@ func TestStartTwiceFails(t *testing.T) {
 }
 
 func TestInvalidSpecRejected(t *testing.T) {
-	if _, err := New(&NestSpec{Name: ""}); err == nil {
+	if _, err := New(&NestSpec{Name: ""}); err == nil { //dopevet:ignore nestspec deliberately invalid spec under test
 		t.Fatal("invalid spec accepted")
 	}
 }
@@ -122,7 +122,7 @@ func TestPipelineDrainsThroughFini(t *testing.T) {
 						if next >= items {
 							return Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck finite test head: exits via its own counter
 						v := next
 						next++
 						w.End()
@@ -137,7 +137,7 @@ func TestPipelineDrainsThroughFini(t *testing.T) {
 						if err != nil {
 							return Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						v *= 2
 						w.End()
 						q2.Enqueue(v)
@@ -152,7 +152,7 @@ func TestPipelineDrainsThroughFini(t *testing.T) {
 						if err != nil {
 							return Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						wrote.Add(1)
 						w.End()
 						return Executing
@@ -194,7 +194,7 @@ func nestedSpec(work *queue.Queue[int], innerDone *atomic.Int64) *NestSpec {
 							if n >= 5 {
 								return Finished
 							}
-							w.Begin()
+							w.Begin() //dopevet:ignore suspendcheck finite test head: exits via its own counter
 							n++
 							w.End()
 							frames.Enqueue(n)
@@ -208,7 +208,7 @@ func nestedSpec(work *queue.Queue[int], innerDone *atomic.Int64) *NestSpec {
 							if err != nil {
 								return Finished
 							}
-							w.Begin()
+							w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 							innerDone.Add(1)
 							w.End()
 							return Executing
@@ -227,7 +227,7 @@ func nestedSpec(work *queue.Queue[int], innerDone *atomic.Int64) *NestSpec {
 						if n >= 5 {
 							return Finished
 						}
-						w.Begin()
+						w.Begin() //dopevet:ignore suspendcheck finite test loop: exits via its own counter
 						n++
 						innerDone.Add(1)
 						w.End()
@@ -340,7 +340,7 @@ func twoAltDoallSpec(work *queue.Queue[int], processed *atomic.Int64) *NestSpec 
 				if !ok {
 					return Suspended
 				}
-				w.Begin()
+				w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
 				_ = v
 				processed.Add(1)
 				w.End()
@@ -511,7 +511,7 @@ func TestMissingFunctorFails(t *testing.T) {
 		Name:   "a",
 		Stages: []StageSpec{{Name: "s", Type: SEQ}},
 		Make: func(item any) (*AltInstance, error) {
-			return &AltInstance{Stages: []StageFns{{}}}, nil
+			return &AltInstance{Stages: []StageFns{{}}}, nil //dopevet:ignore nestspec deliberately invalid instance under test
 		},
 	}}}
 	e, err := New(spec)
@@ -535,7 +535,7 @@ func TestUnbalancedBeginIsAutoClosed(t *testing.T) {
 						return Finished
 					}
 					n++
-					w.Begin() // deliberately no End
+					w.Begin() //dopevet:ignore beginend,suspendcheck deliberately leaked window: exercises the balancer auto-close
 					return Executing
 				},
 			}}}, nil
@@ -644,7 +644,7 @@ func TestExecTimeIsMonitored(t *testing.T) {
 					if err != nil {
 						return Finished
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck test functor drains a pre-filled queue; exit via queue empty
 					spinFor(2 * time.Millisecond)
 					w.End()
 					return Executing
@@ -723,7 +723,7 @@ func TestWorkerPanicFailsRunGracefully(t *testing.T) {
 					if !ok {
 						return Suspended
 					}
-					w.Begin()
+					w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
 					n++
 					if n == 3 {
 						panic("kaboom")

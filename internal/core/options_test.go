@@ -31,7 +31,7 @@ func TestWorkerSlotAndItemAndExtent(t *testing.T) {
 						t.Errorf("extent = %d, want 3", w.Extent())
 					}
 					sawItem.Store(w.Item())
-					w.Begin()
+					w.Begin()                          //dopevet:ignore suspendcheck,tokenhold the sleep holds the window so every slot joins this doall
 					time.Sleep(500 * time.Microsecond) // let every slot join in
 					w.End()
 					return Executing

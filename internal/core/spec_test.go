@@ -43,16 +43,16 @@ func TestValidateRejections(t *testing.T) {
 		spec *NestSpec
 		want string
 	}{
-		{"empty name", &NestSpec{Name: "", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"})}}, "empty name"},
+		{"empty name", &NestSpec{Name: "", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"})}}, "empty name"}, //dopevet:ignore nestspec deliberately invalid spec under test
 		{"no alts", &NestSpec{Name: "n"}, "no alternatives"},
 		{"nil alt", &NestSpec{Name: "n", Alts: []*AltSpec{nil}}, "nil alternative"},
 		{"unnamed alt", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("", StageSpec{Name: "s"})}}, "unnamed alternative"},
 		{"no stages", &NestSpec{Name: "n", Alts: []*AltSpec{{Name: "a", Make: func(any) (*AltInstance, error) { return nil, nil }}}}, "no stages"},
 		{"no make", &NestSpec{Name: "n", Alts: []*AltSpec{{Name: "a", Stages: []StageSpec{{Name: "s"}}}}}, "no Make"},
-		{"unnamed stage", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: ""})}}, "unnamed stage"},
+		{"unnamed stage", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: ""})}}, "unnamed stage"}, //dopevet:ignore nestspec deliberately invalid spec under test
 		{"dup stage", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s"}, StageSpec{Name: "s"})}}, "repeats stage"},
-		{"neg dop", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: -1})}}, "negative DoP"},
-		{"min>max", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: 5, MaxDoP: 2})}}, "MinDoP > MaxDoP"},
+		{"neg dop", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: -1})}}, "negative DoP"},              //dopevet:ignore nestspec deliberately invalid spec under test
+		{"min>max", &NestSpec{Name: "n", Alts: []*AltSpec{leafAlt("a", StageSpec{Name: "s", MinDoP: 5, MaxDoP: 2})}}, "MinDoP > MaxDoP"}, //dopevet:ignore nestspec deliberately invalid spec under test
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()

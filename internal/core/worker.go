@@ -31,6 +31,17 @@ type Worker struct {
 
 	holding bool
 	beginAt time.Time
+	// began tracks an open Begin/End protocol window (set by every Begin,
+	// including one that returned Suspended without claiming a context,
+	// since drain stages may still work and End before propagating). Only
+	// consulted by the misuse detector (WithProtocolCheck / DOPE_DEBUG=1).
+	began bool
+}
+
+// violation panics with a protocol-violation message. The worker loop
+// recovers it, balances the CPU section, and surfaces it as the run error.
+func violation(msg string) {
+	panic("dope: protocol violation: " + msg)
 }
 
 // Slot returns this worker's id within its stage's worker group. In steady
@@ -68,6 +79,10 @@ func (w *Worker) Suspending() bool {
 // Begin returns Suspended without claiming a context and the functor should
 // return Suspended at once.
 func (w *Worker) Begin() Status {
+	if w.exec.protocolCheck && w.began {
+		violation("Worker.Begin while the previous Begin/End section is still open (double Begin)")
+	}
+	w.began = true
 	if w.Suspending() {
 		return Suspended
 	}
@@ -81,6 +96,10 @@ func (w *Worker) Begin() Status {
 // released and the elapsed time is recorded for the monitors. Like Begin it
 // reports Suspended when the worker should stop.
 func (w *Worker) End() Status {
+	if w.exec.protocolCheck && !w.began {
+		violation("Worker.End without a matching Worker.Begin")
+	}
+	w.began = false
 	if w.holding {
 		now := w.exec.clock.Now()
 		w.stats.ObserveIteration(now.Sub(w.beginAt), now)
@@ -102,6 +121,9 @@ func (w *Worker) End() Status {
 // The stage must have declared spec in its StageSpec.Nest; undeclared nests
 // still run but adapt only with default configuration.
 func (w *Worker) RunNest(spec *NestSpec, item any) (Status, error) {
+	if w.exec.protocolCheck && w.holding {
+		violation("Worker.RunNest while holding a platform context (close the Begin/End section first)")
+	}
 	childPath := append(append([]string(nil), w.path...), spec.Name)
 	st, err := w.exec.runNest(w.run, spec, childPath, item, false)
 	if err != nil {

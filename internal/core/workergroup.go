@@ -162,8 +162,9 @@ func (g *workerGroup) runSlot(s *groupSlot) {
 		status := g.fns.Fn(w)
 		if w.holding {
 			// The functor returned without closing its CPU section; balance
-			// it so the context is not leaked.
-			w.End()
+			// it so the context is not leaked. This is the runtime's own
+			// repair path, not a functor, so the protocol checks don't apply.
+			w.End() //dopevet:ignore beginend,suspendcheck runtime balancer closes a window the functor leaked
 		}
 		switch status {
 		case Executing:

@@ -144,13 +144,18 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 						if !ok {
 							return Suspended
 						}
+						// The item is already claimed, so even a Suspended
+						// window processes and forwards it before exiting.
 						w.Begin()
 						v = fn(v, w.Extent())
-						w.End()
+						st := w.End()
 						if out != nil {
 							out.Enqueue(v)
 						} else if done != nil {
 							done(v)
+						}
+						if st == Suspended {
+							return Suspended
 						}
 						return Executing
 					}
@@ -160,7 +165,11 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 						if err != nil {
 							return Finished
 						}
-						w.Begin()
+						// Drain stage: it exits only when the upstream queue
+						// closes, so items queued before a suspension survive
+						// an alternative switch. Begin/End statuses are
+						// deliberately not propagated.
+						w.Begin() //dopevet:ignore suspendcheck drain stage: exit is driven by upstream queue close
 						v = fn(v, w.Extent())
 						w.End()
 						if out != nil {
@@ -200,13 +209,18 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 						if !ok {
 							return Suspended
 						}
+						// As above: the claimed item is finished and handed
+						// off before a Suspended status is propagated.
 						w.Begin()
-						for _, st := range stages {
-							v = st.Fn(v, w.Extent())
+						for _, fs := range stages {
+							v = fs.Fn(v, w.Extent())
 						}
-						w.End()
+						st := w.End()
 						if done != nil {
 							done(v)
+						}
+						if st == Suspended {
+							return Suspended
 						}
 						return Executing
 					},
