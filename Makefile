@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet dope-vet ci
+# Every demo under examples/ must run to completion; each is bounded by
+# this timeout so a hung example fails CI instead of wedging it.
+EXAMPLE_TIMEOUT ?= 120s
+
+.PHONY: build test vet dope-vet examples ci
 
 build:
 	$(GO) build ./...
@@ -16,4 +20,10 @@ vet: dope-vet
 dope-vet:
 	$(GO) build -o bin/dope-vet ./cmd/dope-vet
 
-ci: build vet test
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		timeout $(EXAMPLE_TIMEOUT) $(GO) run ./$$d; \
+	done
+
+ci: build vet test examples

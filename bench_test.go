@@ -132,6 +132,13 @@ func BenchmarkReconfigDip(b *testing.B) {
 	b.ReportMetric(run(true).Throughput, "respawn-q/s")
 }
 
+// BenchmarkFaults measures throughput under 1% injected panics for each
+// failure policy: fail-stop terminates, fail-restart and fail-degrade
+// absorb the faults and stay within 2x of the fault-free baseline.
+func BenchmarkFaults(b *testing.B) {
+	runExperiment(b, "faults")
+}
+
 // --- ablations of design choices (DESIGN.md) --------------------------------
 
 // BenchmarkAblationHysteresis sweeps WQT-H's hysteresis lengths: too little

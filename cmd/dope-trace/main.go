@@ -63,6 +63,14 @@ func main() {
 				fmt.Printf("%8.3fs finish\n", time.Since(start).Seconds())
 			case dope.EventError:
 				fmt.Printf("%8.3fs error: %v\n", time.Since(start).Seconds(), ev.Err)
+			case dope.EventTaskFailure:
+				esc := ""
+				if ev.Escalated {
+					esc = " (escalated)"
+				}
+				fmt.Printf("%8.3fs task failure %s/%s -> %s%s: failure %d in window, %d consecutive\n",
+					time.Since(start).Seconds(), ev.Nest, ev.Stage, ev.Policy, esc,
+					ev.Failures, ev.ConsecFailures)
 			}
 		}))
 	if err != nil {

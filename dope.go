@@ -83,6 +83,9 @@ type (
 	Event = core.Event
 	// EventKind classifies trace records.
 	EventKind = core.EventKind
+	// FailurePolicy selects how the executive reacts to a panicking stage
+	// functor (StageSpec.OnFailure, WithFailurePolicy).
+	FailurePolicy = core.FailurePolicy
 )
 
 // Task status values.
@@ -106,6 +109,20 @@ const (
 	EventResume      = core.EventResume
 	EventFinish      = core.EventFinish
 	EventError       = core.EventError
+	EventTaskFailure = core.EventTaskFailure
+)
+
+// Failure policies (see DESIGN.md "Failure semantics"): FailStop surfaces
+// the first functor panic as the run error and shuts down (the default);
+// FailRestart respawns the failed worker slot, with a per-stage failure
+// budget and exponential backoff before escalating to FailStop; FailDegrade
+// retires the failed slot and shrinks the stage's extent, leaving re-growth
+// to the mechanism. FailDefault defers to the executive-wide policy.
+const (
+	FailDefault = core.FailDefault
+	FailStop    = core.FailStop
+	FailRestart = core.FailRestart
+	FailDegrade = core.FailDegrade
 )
 
 // Option configures the executive; re-exported from core.
@@ -139,6 +156,15 @@ var (
 	// surfaces as a run error. DOPE_DEBUG=1 enables it too. The static
 	// counterpart is cmd/dope-vet.
 	WithProtocolCheck = core.WithProtocolCheck
+	// WithFailurePolicy sets the executive-wide default failure policy for
+	// stages whose spec leaves OnFailure as FailDefault.
+	WithFailurePolicy = core.WithFailurePolicy
+	// WithFailureBudget bounds FailRestart: more than n failures within a
+	// rolling window escalate the stage to FailStop.
+	WithFailureBudget = core.WithFailureBudget
+	// WithRestartBackoff sets the FailRestart backoff: base doubles per
+	// failure in the window, capped at max.
+	WithRestartBackoff = core.WithRestartBackoff
 )
 
 // DefaultConfig returns alternative 0 with extent 1 everywhere.

@@ -161,6 +161,7 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		"reconfigurations": h.exec.Reconfigurations(),
 		"suspensions":      h.exec.Suspensions(),
 		"resizes":          h.exec.Resizes(),
+		"taskFailures":     h.exec.TaskFailures(),
 		"contexts":         h.exec.Contexts().N(),
 		"busyContexts":     h.exec.Contexts().Busy(),
 		"peakContexts":     h.exec.Contexts().Peak(),

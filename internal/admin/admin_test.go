@@ -220,7 +220,7 @@ func TestStatsEndpointAndMethodChecks(t *testing.T) {
 	}
 	// Reconfiguration accounting is exposed: suspensions (whole-nest
 	// respawns) and resizes (in-place worker-group changes) separately.
-	for _, k := range []string{"reconfigurations", "suspensions", "resizes"} {
+	for _, k := range []string{"reconfigurations", "suspensions", "resizes", "taskFailures"} {
 		if _, ok := stats[k]; !ok {
 			t.Fatalf("stats missing %q: %v", k, stats)
 		}

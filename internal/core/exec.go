@@ -53,6 +53,15 @@ type Exec struct {
 	reconfigs atomic.Uint64
 	suspends  atomic.Uint64
 	resizes   atomic.Uint64
+
+	// Failure handling defaults; stage specs may override per stage (see
+	// failure.go and StageSpec.OnFailure).
+	failPolicy   FailurePolicy
+	failBudget   int
+	failWindow   time.Duration
+	restartBase  time.Duration
+	restartMax   time.Duration
+	taskFailures atomic.Uint64
 }
 
 // run is one suspension domain: the lifetime of one set of top-level task
@@ -208,11 +217,16 @@ func New(root *NestSpec, opts ...Option) (*Exec, error) {
 		return nil, err
 	}
 	e := &Exec{
-		root:     root,
-		clock:    platform.WallClock{},
-		interval: 10 * time.Millisecond,
-		doneCh:   make(chan struct{}),
-		ctrlCh:   make(chan struct{}),
+		root:        root,
+		clock:       platform.WallClock{},
+		interval:    10 * time.Millisecond,
+		doneCh:      make(chan struct{}),
+		ctrlCh:      make(chan struct{}),
+		failPolicy:  FailStop,
+		failBudget:  DefaultFailureBudget,
+		failWindow:  DefaultFailureWindow,
+		restartBase: defaultRestartBackoff,
+		restartMax:  defaultRestartBackoffMax,
 	}
 	if os.Getenv("DOPE_DEBUG") == "1" {
 		e.protocolCheck = true
@@ -378,19 +392,6 @@ func (e *Exec) Stop() {
 // Done returns a channel closed when the application has ended.
 func (e *Exec) Done() <-chan struct{} { return e.doneCh }
 
-// recordTaskPanic converts a worker panic into a run error and shuts the
-// application down; sibling tasks drain through the normal protocol.
-func (e *Exec) recordTaskPanic(key monitor.Key, p any) {
-	err := fmt.Errorf("core: task %s/%s panicked: %v", key.Nest, key.Stage, p)
-	e.errMu.Lock()
-	if e.runErr == nil {
-		e.runErr = err
-	}
-	e.errMu.Unlock()
-	e.emit(Event{Kind: EventError, Err: err})
-	e.Stop()
-}
-
 func (e *Exec) suspendCurrent() {
 	if r := e.curRun.Load(); r != nil {
 		if !r.suspend.Swap(true) {
@@ -420,7 +421,18 @@ func (e *Exec) serve() {
 			return
 		}
 		// Suspended: the new configuration is already installed; resume.
+		// Stop is re-checked after the store: a Stop that lands between the
+		// check above and the store suspends only the already-drained old
+		// run, and the fresh run would otherwise never observe it — Wait
+		// would block until the new run finished naturally (forever, for a
+		// server workload). The atomics are sequentially consistent, so a
+		// Stop whose flag this read misses must load the run stored above
+		// and suspend that.
 		e.curRun.Store(&run{})
+		if e.stop.Load() {
+			e.emit(Event{Kind: EventFinish})
+			return
+		}
 		e.emit(Event{Kind: EventResume, Config: e.cfg.Load().Clone()})
 	}
 }
@@ -574,10 +586,23 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 		if fns.Init != nil {
 			fns.Init()
 		}
+		policy := st.OnFailure
+		if policy == FailDefault {
+			policy = e.failPolicy
+		}
+		budget := st.FailureBudget
+		if budget <= 0 {
+			budget = e.failBudget
+		}
+		window := st.FailureWindow
+		if window <= 0 {
+			window = e.failWindow
+		}
 		groups = append(groups, &workerGroup{
 			exec: e, r: r, key: key, stats: e.mon.Stage(key),
 			st: st, fns: fns, path: path, top: top, item: item,
-			altIdx: cfg.Alt,
+			altIdx: cfg.Alt, idx: i,
+			policy: policy, budget: budget, window: window,
 			target: st.clampExtent(cfg.Extent(i)),
 			done:   make(chan struct{}),
 		})

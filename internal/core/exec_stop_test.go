@@ -1,0 +1,151 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// serverSpec is a two-alternative nest whose stages never finish on their
+// own: they iterate until suspended or stopped, like a server workload.
+func serverSpec() *NestSpec {
+	mk := func() (*AltInstance, error) {
+		return &AltInstance{Stages: []StageFns{{
+			Fn: func(w *Worker) Status {
+				if w.Suspending() {
+					return Suspended
+				}
+				runtime.Gosched()
+				return Executing
+			},
+		}}}, nil
+	}
+	return &NestSpec{Name: "app", Alts: []*AltSpec{
+		{
+			Name:   "a",
+			Stages: []StageSpec{{Name: "worker", Type: PAR}},
+			Make:   func(item any) (*AltInstance, error) { return mk() },
+		},
+		{
+			Name:   "b",
+			Stages: []StageSpec{{Name: "worker", Type: PAR}},
+			Make:   func(item any) (*AltInstance, error) { return mk() },
+		},
+	}}
+}
+
+// TestStopRacingRespawnTerminates is the regression test for the
+// Stop/respawn race in serve(): a Stop landing after the drained run's
+// suspension but before serve stored the fresh run used to suspend only the
+// old run — the fresh one never observed it and Wait blocked forever. The
+// window is a few instructions wide, so each round forces a suspension with
+// an alternative switch, waits for the suspend flag to land, and then sweeps
+// Stop across the respawn in ~25ns steps. With the re-check after the
+// store, every round must terminate.
+func TestStopRacingRespawnTerminates(t *testing.T) {
+	start := time.Now()
+	for i := 0; i < 5000 && time.Since(start) < 3*time.Second; i++ {
+		e, err := New(serverSpec(), WithContexts(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Force a suspend→respawn cycle.
+		go e.SetConfig(&Config{Alt: 1, Extents: []int{1}})
+		for e.Suspensions() == 0 {
+			runtime.Gosched()
+		}
+		// The drain is completing; sweep Stop across the respawn window.
+		for n := 0; n < i%512; n++ {
+			_ = time.Now()
+		}
+		e.Stop()
+		done := make(chan error, 1)
+		go func() { done <- e.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: Wait returned %v", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("round %d: Wait hung — Stop lost against the respawn", i)
+		}
+	}
+}
+
+// TestResizeDuringDrainAdoptedAtRespawn covers the other reconfiguration
+// window: an extent-only SetConfig arriving while the run is suspending
+// finds no groups to resize (run.resize returns early), so the change must
+// be adopted when the respawned run re-resolves its extents in runNest.
+func TestResizeDuringDrainAdoptedAtRespawn(t *testing.T) {
+	gate := make(chan struct{})
+	spec := &NestSpec{Name: "app", Alts: []*AltSpec{
+		{
+			// Alternative "a" holds the drain open: its worker blocks on the
+			// gate before acknowledging suspension, pinning the run in the
+			// suspending state for as long as the test needs.
+			Name:   "a",
+			Stages: []StageSpec{{Name: "worker", Type: PAR}},
+			Make: func(item any) (*AltInstance, error) {
+				return &AltInstance{Stages: []StageFns{{
+					Fn: func(w *Worker) Status {
+						<-gate
+						return Suspended
+					},
+				}}}, nil
+			},
+		},
+		{
+			Name:   "b",
+			Stages: []StageSpec{{Name: "worker", Type: PAR}},
+			Make: func(item any) (*AltInstance, error) {
+				return &AltInstance{Stages: []StageFns{{
+					Fn: func(w *Worker) Status {
+						if w.Suspending() {
+							return Suspended
+						}
+						time.Sleep(20 * time.Microsecond)
+						return Executing
+					},
+				}}}, nil
+			},
+		},
+	}}
+	e, err := New(spec, WithContexts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForWorkers(t, e, "worker", 1)
+
+	// Switch alternatives: the run starts suspending but cannot finish
+	// draining until the gate opens.
+	e.SetConfig(&Config{Alt: 1, Extents: []int{1}})
+	// Now grow the new alternative's stage while the old run is still
+	// draining. There are no resizable groups yet, so this must not count
+	// as an in-place resize — only update the stored configuration.
+	e.SetConfig(&Config{Alt: 1, Extents: []int{4}})
+	if got := e.Resizes(); got != 0 {
+		t.Fatalf("resize applied to a draining run: resizes = %d", got)
+	}
+
+	close(gate) // let the drain complete; serve respawns under alt 1
+	waitForWorkers(t, e, "worker", 4)
+	if got := e.CurrentConfig(); got.Alt != 1 || got.Extents[0] != 4 {
+		t.Fatalf("respawned config = %+v, want alt 1 extent 4", got)
+	}
+	if got := e.Resizes(); got != 0 {
+		t.Fatalf("extent change during drain should be adopted at respawn, not resized: resizes = %d", got)
+	}
+	if got := e.Suspensions(); got != 1 {
+		t.Fatalf("suspensions = %d, want 1", got)
+	}
+	e.Stop()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/queue"
+)
+
+// poisonSpec is a root nest with one PAR stage draining work; items listed
+// in poison panic the functor once each (the item is consumed and lost, as
+// a real bad request would be).
+func poisonSpec(work *queue.Queue[int], processed *atomic.Int64,
+	poison map[int]bool, st StageSpec) *NestSpec {
+	return &NestSpec{Name: "app", Alts: []*AltSpec{{
+		Name:   "doall",
+		Stages: []StageSpec{st},
+		Make: func(item any) (*AltInstance, error) {
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if w.Suspending() {
+						return Suspended
+					}
+					v, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+					if errors.Is(err, queue.ErrClosed) {
+						return Finished
+					}
+					if !ok {
+						return Suspended
+					}
+					if poison[v] {
+						panic("injected-kaboom")
+					}
+					w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
+					processed.Add(1)
+					w.End()
+					return Executing
+				},
+				Load: func() float64 { return float64(work.Len()) },
+			}}}, nil
+		},
+	}}}
+}
+
+func TestFailStopCapturesStack(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := poisonSpec(work, &processed, map[int]bool{3: true},
+		StageSpec{Name: "worker", Type: PAR})
+	var evMu sync.Mutex
+	var failures []Event
+	e, err := New(spec, WithContexts(2),
+		WithTrace(func(ev Event) {
+			if ev.Kind == EventTaskFailure {
+				evMu.Lock()
+				failures = append(failures, ev)
+				evMu.Unlock()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAndClose(work, 10)
+	err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "injected-kaboom") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+	// The run error must carry the recovery-site stack so the panic site is
+	// attributable from logs alone.
+	if !strings.Contains(err.Error(), "goroutine") || !strings.Contains(err.Error(), "failure_test.go") {
+		t.Fatalf("run error lacks the captured stack:\n%v", err)
+	}
+	if e.Contexts().Busy() != 0 {
+		t.Fatalf("context leaked after panic: busy = %d", e.Contexts().Busy())
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(failures) != 1 {
+		t.Fatalf("task-failure events = %d, want 1", len(failures))
+	}
+	ev := failures[0]
+	if ev.Nest != "app" || ev.Stage != "worker" {
+		t.Fatalf("failure stage key = %s/%s", ev.Nest, ev.Stage)
+	}
+	if ev.Policy != FailStop || ev.Escalated {
+		t.Fatalf("policy = %v escalated = %v, want plain fail-stop", ev.Policy, ev.Escalated)
+	}
+	if ev.Failures != 1 || ev.ConsecFailures != 1 {
+		t.Fatalf("failure counts = %d/%d, want 1/1", ev.Failures, ev.ConsecFailures)
+	}
+	if !strings.Contains(ev.Stack, "failure_test.go") {
+		t.Fatalf("event stack does not reach the panic site:\n%s", ev.Stack)
+	}
+	if e.TaskFailures() != 1 {
+		t.Fatalf("TaskFailures = %d", e.TaskFailures())
+	}
+}
+
+func TestFailRestartSurvivesPanics(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	poison := map[int]bool{5: true, 25: true, 60: true}
+	spec := poisonSpec(work, &processed, poison,
+		StageSpec{Name: "worker", Type: PAR, OnFailure: FailRestart})
+	e, err := New(spec, WithContexts(4),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{3}}),
+		WithRestartBackoff(100*time.Microsecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 100
+	fillAndClose(work, items)
+	if err := e.Run(); err != nil {
+		t.Fatalf("restart policy surfaced a run error: %v", err)
+	}
+	// Poisoned items are consumed by the panicking iteration; everything
+	// else must still be processed by the respawned slots.
+	if got := processed.Load(); got != items-int64(len(poison)) {
+		t.Fatalf("processed = %d, want %d", got, items-len(poison))
+	}
+	if got := e.TaskFailures(); got != uint64(len(poison)) {
+		t.Fatalf("TaskFailures = %d, want %d", got, len(poison))
+	}
+	st := e.Report().Nest("app").Stage("worker")
+	if st.Failures != uint64(len(poison)) {
+		t.Fatalf("stage failures = %d, want %d", st.Failures, len(poison))
+	}
+	if st.ConsecutiveFailures != 0 {
+		t.Fatalf("consecutive failures after recovery = %d, want 0", st.ConsecutiveFailures)
+	}
+	if e.Suspensions() != 0 {
+		t.Fatalf("restarts caused %d suspensions", e.Suspensions())
+	}
+}
+
+func TestFailRestartBudgetEscalatesToFailStop(t *testing.T) {
+	work := queue.New[int](0) // fed but never closed: only escalation ends the run
+	var processed atomic.Int64
+	poison := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		poison[i] = true // every item panics
+	}
+	spec := poisonSpec(work, &processed, poison,
+		StageSpec{Name: "worker", Type: PAR, OnFailure: FailRestart})
+	var sawEscalation atomic.Bool
+	e, err := New(spec, WithContexts(2),
+		WithFailureBudget(2, time.Minute),
+		WithRestartBackoff(100*time.Microsecond, time.Millisecond),
+		WithTrace(func(ev Event) {
+			if ev.Kind == EventTaskFailure && ev.Escalated && ev.Policy == FailStop {
+				sawEscalation.Store(true)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		work.Enqueue(i)
+	}
+	done := make(chan error, 1)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- e.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "injected-kaboom") {
+			t.Fatalf("err = %v, want escalated panic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("budget overrun never escalated to FailStop")
+	}
+	if !sawEscalation.Load() {
+		t.Fatal("no escalated task-failure event")
+	}
+	// Budget 2: failures 1 and 2 restart, the third escalates.
+	if got := e.TaskFailures(); got != 3 {
+		t.Fatalf("TaskFailures = %d, want 3 (budget 2 + the escalating one)", got)
+	}
+}
+
+func TestFailDegradeShrinksExtentAndMechanismRegrows(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := poisonSpec(work, &processed, map[int]bool{7: true},
+		StageSpec{Name: "worker", Type: PAR, OnFailure: FailDegrade})
+	var resizeMech atomic.Value
+	e, err := New(spec, WithContexts(8),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{4}}),
+		WithTrace(func(ev Event) {
+			if ev.Kind == EventResize {
+				resizeMech.Store(ev.Mechanism)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		work.Enqueue(i)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned item retires its slot: extent 4 -> 3, visible in the
+	// active configuration and the worker gauge, with no suspension.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.CurrentConfig().Extents[0] != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.CurrentConfig().Extents[0]; got != 3 {
+		t.Fatalf("configured extent after degrade = %d, want 3", got)
+	}
+	waitForWorkers(t, e, "worker", 3)
+	if mech, _ := resizeMech.Load().(string); mech != "fail-degrade" {
+		t.Fatalf("resize event mechanism = %q", mech)
+	}
+	if e.Suspensions() != 0 {
+		t.Fatalf("degrade caused %d suspensions", e.Suspensions())
+	}
+
+	// A mechanism that wants the extent back proposes it again: the shrink
+	// is in the active configuration, so its proposal differs and installs
+	// as an ordinary in-place grow.
+	e.SetMechanism(&bumpMechanism{target: 4})
+	waitForWorkers(t, e, "worker", 4)
+
+	for i := 30; i < 60; i++ {
+		work.Enqueue(i)
+	}
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatalf("degrade policy surfaced a run error: %v", err)
+	}
+	if got := processed.Load(); got != 59 {
+		t.Fatalf("processed = %d, want 59 (one poisoned item lost)", got)
+	}
+}
+
+func TestFailDegradeLastSlotEscalates(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := poisonSpec(work, &processed, map[int]bool{2: true},
+		StageSpec{Name: "worker", Type: PAR, OnFailure: FailDegrade})
+	var sawEscalation atomic.Bool
+	e, err := New(spec, WithContexts(2),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{1}}),
+		WithTrace(func(ev Event) {
+			if ev.Kind == EventTaskFailure && ev.Escalated {
+				sawEscalation.Store(true)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAndClose(work, 10)
+	if err := e.Run(); err == nil {
+		t.Fatal("losing the last slot of a degrading stage must fail the run")
+	}
+	if !sawEscalation.Load() {
+		t.Fatal("no escalated task-failure event")
+	}
+}
+
+func TestExecutiveWideFailurePolicy(t *testing.T) {
+	// The stage spec leaves OnFailure as FailDefault; WithFailurePolicy
+	// supplies FailRestart for the whole executive.
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := poisonSpec(work, &processed, map[int]bool{4: true},
+		StageSpec{Name: "worker", Type: PAR})
+	e, err := New(spec, WithContexts(2),
+		WithFailurePolicy(FailRestart),
+		WithRestartBackoff(100*time.Microsecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAndClose(work, 20)
+	if err := e.Run(); err != nil {
+		t.Fatalf("executive-wide restart policy surfaced: %v", err)
+	}
+	if processed.Load() != 19 {
+		t.Fatalf("processed = %d, want 19", processed.Load())
+	}
+}
+
+func TestInvalidFailurePolicyRejected(t *testing.T) {
+	spec := &NestSpec{Name: "bad", Alts: []*AltSpec{{
+		Name:   "a",
+		Stages: []StageSpec{{Name: "s", Type: SEQ, OnFailure: FailurePolicy(99)}},
+		Make: func(item any) (*AltInstance, error) {
+			return &AltInstance{Stages: []StageFns{{Fn: func(w *Worker) Status { return Finished }}}}, nil
+		},
+	}}}
+	if _, err := New(spec); err == nil || !strings.Contains(err.Error(), "failure policy") {
+		t.Fatalf("invalid policy accepted: %v", err)
+	}
+}
+
+func TestFailurePolicyStrings(t *testing.T) {
+	for p, want := range map[FailurePolicy]string{
+		FailDefault:       "default",
+		FailStop:          "fail-stop",
+		FailRestart:       "fail-restart",
+		FailDegrade:       "fail-degrade",
+		FailurePolicy(42): "invalid",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("FailurePolicy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+	if EventTaskFailure.String() != "task-failure" {
+		t.Errorf("EventTaskFailure.String() = %q", EventTaskFailure.String())
+	}
+}

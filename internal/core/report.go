@@ -48,6 +48,13 @@ type StageReport struct {
 	Spawned uint64
 	Retired uint64
 	Resizes uint64
+	// Failures counts functor panics absorbed by the stage under any
+	// failure policy; ConsecutiveFailures is the failure streak since the
+	// stage last completed an iteration — a persistently failing stage
+	// shows it climbing, so mechanisms can steer work away before the
+	// budget escalates it to FailStop.
+	Failures            uint64
+	ConsecutiveFailures int
 }
 
 // NestReport is the monitored view of one nest under its current
@@ -172,10 +179,12 @@ func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestRepor
 			LoadInstances: n,
 			Iterations:    ss.Iterations(),
 			Completed:     ss.Completed(),
-			Workers:       ss.Workers(),
-			Spawned:       ss.Spawned(),
-			Retired:       ss.Retired(),
-			Resizes:       ss.Resizes(),
+			Workers:             ss.Workers(),
+			Spawned:             ss.Spawned(),
+			Retired:             ss.Retired(),
+			Resizes:             ss.Resizes(),
+			Failures:            ss.Failures(),
+			ConsecutiveFailures: ss.ConsecutiveFailures(),
 		})
 		if st.Nest != nil {
 			if nr.Children == nil {
@@ -207,6 +216,13 @@ const (
 	EventFinish
 	// EventError: a task or instantiation failed; the run is over.
 	EventError
+	// EventTaskFailure: a stage functor panicked and the stage's failure
+	// policy handled it. Nest/Stage carry the stage key, Policy the action
+	// taken (after any escalation, which Escalated flags), Failures and
+	// ConsecFailures the stage's failure counts, and Stack the goroutine
+	// stack captured at the recovery site. Under FailStop an EventError
+	// with the same error follows.
+	EventTaskFailure
 )
 
 // String returns the event kind's name.
@@ -224,6 +240,8 @@ func (k EventKind) String() string {
 		return "finish"
 	case EventError:
 		return "error"
+	case EventTaskFailure:
+		return "task-failure"
 	default:
 		return "unknown"
 	}
@@ -241,10 +259,24 @@ type Event struct {
 	// by the control loop.
 	Mechanism string
 	// Stage names the resized stage and FromExtent/ToExtent its extents
-	// before and after, for EventResize.
+	// before and after, for EventResize. EventTaskFailure sets Stage too,
+	// qualified by Nest.
 	Stage      string
 	FromExtent int
 	ToExtent   int
-	// Err carries the failure for EventError.
+	// Err carries the failure for EventError and EventTaskFailure.
 	Err error
+	// Nest is the failing stage's nest path for EventTaskFailure.
+	Nest string
+	// Policy is the failure policy applied (after escalation); Escalated
+	// reports that budget or extent exhaustion forced FailStop.
+	Policy    FailurePolicy
+	Escalated bool
+	// Failures is the stage's failure count within its rolling budget
+	// window at emission; ConsecFailures the consecutive failures since
+	// the stage last completed an iteration.
+	Failures       int
+	ConsecFailures int
+	// Stack is the goroutine stack captured where the panic was recovered.
+	Stack string
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 )
 
 // Functor is one iteration of a task's loop body. It is invoked repeatedly
@@ -51,6 +52,16 @@ type StageSpec struct {
 	// Nest, when non-nil, declares that this stage's functor runs the given
 	// nested loop via Worker.RunNest.
 	Nest *NestSpec
+	// OnFailure selects how the executive reacts when this stage's functor
+	// panics; FailDefault defers to the executive-wide policy
+	// (WithFailurePolicy), which defaults to FailStop.
+	OnFailure FailurePolicy
+	// FailureBudget and FailureWindow bound FailRestart for this stage:
+	// more than FailureBudget failures within a rolling FailureWindow
+	// escalate it to FailStop. Zero means the executive default
+	// (DefaultFailureBudget per DefaultFailureWindow, or WithFailureBudget).
+	FailureBudget int
+	FailureWindow time.Duration
 }
 
 // AltSpec is one alternative parallelization of a loop (one ParDescriptor).
@@ -128,6 +139,12 @@ func (n *NestSpec) validate(seen map[*NestSpec]bool) error {
 			}
 			if st.MaxDoP > 0 && st.MinDoP > st.MaxDoP {
 				return fmt.Errorf("core: stage %q has MinDoP > MaxDoP", st.Name)
+			}
+			if !st.OnFailure.valid() {
+				return fmt.Errorf("core: stage %q has invalid failure policy %d", st.Name, st.OnFailure)
+			}
+			if st.FailureBudget < 0 || st.FailureWindow < 0 {
+				return fmt.Errorf("core: stage %q has negative failure budget or window", st.Name)
 			}
 			if st.Nest != nil {
 				if childNames[st.Nest.Name] {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dope/internal/monitor"
 )
@@ -38,14 +40,22 @@ type workerGroup struct {
 	top    bool
 	item   any
 	altIdx int
+	idx    int // stage index within the alternative (config extent slot)
 
-	mu      sync.Mutex
-	slots   []*groupSlot // live slots, including those draining a retirement
-	target  int          // desired extent; slots converge toward it
-	started bool
-	closed  bool // all slots exited; resizes are no-ops from here on
-	sawSusp bool // a non-retired slot exited with Suspended
-	done    chan struct{}
+	// Failure handling, resolved from the stage spec and the executive
+	// defaults at group creation (see failure.go).
+	policy FailurePolicy
+	budget int
+	window time.Duration
+
+	mu        sync.Mutex
+	slots     []*groupSlot // live slots, including those draining a retirement
+	target    int          // desired extent; slots converge toward it
+	started   bool
+	closed    bool // all slots exited; resizes are no-ops from here on
+	sawSusp   bool // a non-retired slot exited with Suspended
+	failTimes []time.Time // failure timestamps within the rolling window
+	done      chan struct{}
 }
 
 // setTarget records a desired extent before the group has started; start()
@@ -139,23 +149,50 @@ func (g *workerGroup) Target() int {
 }
 
 // runSlot is one worker goroutine: it drives the stage functor until the
-// stage finishes, the run suspends, or this slot is retired by a shrink.
+// stage finishes, the run suspends, this slot is retired by a shrink, or a
+// functor panic is answered with a terminal policy. Under FailRestart the
+// slot respawns in place — a fresh Worker on the same slot id — after the
+// failure backoff.
 func (g *workerGroup) runSlot(s *groupSlot) {
+	defer g.slotExit(s)
+	for {
+		st, p, stack := g.attempt(s)
+		if p == nil {
+			// A retired slot exiting Suspended is just the shrink landing;
+			// from a slot that was not retired it means the run (or this
+			// nest instance) is suspending.
+			if st == Suspended && !s.retiring() {
+				g.mu.Lock()
+				g.sawSusp = true
+				g.mu.Unlock()
+			}
+			return
+		}
+		if !g.failed(s, p, stack) {
+			return
+		}
+	}
+}
+
+// attempt drives one spawn of the slot: a fresh Worker iterating the functor
+// until a normal exit or a panic, which is recovered here — the recovery
+// site — so the stack still contains the panicking frames.
+func (g *workerGroup) attempt(s *groupSlot) (st Status, p any, stack []byte) {
 	w := &Worker{
 		exec: g.exec, run: g.r, key: g.key, stats: g.stats,
 		path: g.path, top: g.top, slot: s.id, item: g.item,
 		group: g, gslot: s,
 	}
-	defer g.slotExit(s)
 	defer func() {
 		// A panicking functor must not take down the whole process (the
 		// paper's tasks are application code the runtime cannot vouch for):
-		// balance the CPU section, record the failure, and stop the run.
-		if p := recover(); p != nil {
+		// capture the stack, balance the CPU section, and hand the failure
+		// to the stage's policy.
+		if r := recover(); r != nil {
+			p, stack = r, debug.Stack()
 			if w.holding {
 				w.End()
 			}
-			g.exec.recordTaskPanic(g.key, p)
 		}
 	}()
 	for {
@@ -169,22 +206,135 @@ func (g *workerGroup) runSlot(s *groupSlot) {
 		switch status {
 		case Executing:
 			if s.retiring() {
-				return // retirement observed between iterations
+				return Executing, nil, nil // retirement observed between iterations
 			}
 		case Suspended:
-			// A retired slot exiting Suspended is just the shrink landing;
-			// from a slot that was not retired it means the run (or this
-			// nest instance) is suspending.
-			if !s.retiring() {
-				g.mu.Lock()
-				g.sawSusp = true
-				g.mu.Unlock()
-			}
-			return
-		default: // Finished
-			return
+			return Suspended, nil, nil
+		default:
+			return Finished, nil, nil
 		}
 	}
+}
+
+// failed applies the stage's failure policy to one panicked attempt and
+// reports whether the slot should respawn. Escalation rules: FailRestart
+// falls back to FailStop when the stage overruns its failure budget within
+// the rolling window; FailDegrade does so when the failing slot is the
+// stage's last active one.
+func (g *workerGroup) failed(s *groupSlot, p any, stack []byte) (respawn bool) {
+	e := g.exec
+	now := e.clock.Now()
+	g.mu.Lock()
+	cut := now.Add(-g.window)
+	kept := g.failTimes[:0]
+	for _, ft := range g.failTimes {
+		if ft.After(cut) {
+			kept = append(kept, ft)
+		}
+	}
+	g.failTimes = append(kept, now)
+	inWindow := len(g.failTimes)
+	active := len(g.activeLocked())
+	g.mu.Unlock()
+
+	consec := g.stats.ObserveFailure()
+	e.taskFailures.Add(1)
+
+	policy, escalated := g.policy, false
+	switch policy {
+	case FailRestart:
+		if inWindow > g.budget {
+			policy, escalated = FailStop, true
+		}
+	case FailDegrade:
+		if active <= 1 {
+			policy, escalated = FailStop, true
+		}
+	}
+
+	err := taskError(g.key, p, stack)
+	e.emit(Event{
+		Kind: EventTaskFailure,
+		Nest: g.key.Nest, Stage: g.key.Stage,
+		Policy: policy, Escalated: escalated,
+		Failures: inWindow, ConsecFailures: consec,
+		Err: err, Stack: string(stack),
+	})
+
+	switch policy {
+	case FailRestart:
+		g.backoff(s, e.restartBackoff(inWindow))
+		if s.retiring() || e.stop.Load() {
+			return false
+		}
+		if g.top && g.r.suspending() {
+			g.mu.Lock()
+			g.sawSusp = true
+			g.mu.Unlock()
+			return false
+		}
+		return true
+	case FailDegrade:
+		g.degrade(s)
+		return false
+	default: // FailStop
+		e.recordTaskFailure(err)
+		return false
+	}
+}
+
+// backoff sleeps for up to d before a FailRestart respawn, staying
+// responsive to retirement, suspension, and Stop.
+func (g *workerGroup) backoff(s *groupSlot, d time.Duration) {
+	const step = 500 * time.Microsecond
+	deadline := time.Now().Add(d)
+	for {
+		if s.retiring() || g.exec.stop.Load() || (g.top && g.r.suspending()) {
+			return
+		}
+		left := time.Until(deadline)
+		if left <= 0 {
+			return
+		}
+		if left > step {
+			left = step
+		}
+		time.Sleep(left)
+	}
+}
+
+// degrade retires the failing slot and shrinks the stage by one: the group
+// target drops (floor 1), and for a top-level group the shrink is written
+// into the active configuration under the install lock so CurrentConfig,
+// Report, and mechanisms all observe it — a mechanism that wants the extent
+// back simply proposes it again. Nested groups only shrink this instance;
+// the next instantiation starts from the configured extent anyway.
+func (g *workerGroup) degrade(s *groupSlot) {
+	e := g.exec
+	e.installMu.Lock()
+	g.mu.Lock()
+	s.retire.Store(true)
+	from := g.target
+	if g.target > 1 {
+		g.target--
+	}
+	to := g.target
+	g.mu.Unlock()
+	if g.top {
+		if cur := e.cfg.Load(); cur != nil && cur.Alt == g.altIdx && g.idx < len(cur.Extents) {
+			nc := cur.Clone()
+			nc.Extents[g.idx] = to
+			e.cfg.Store(nc)
+		}
+	}
+	e.installMu.Unlock()
+	e.resizes.Add(1)
+	g.stats.ObserveResize()
+	e.emit(Event{
+		Kind: EventResize, Stage: g.st.Name,
+		FromExtent: from, ToExtent: to,
+		Config: e.cfg.Load().Clone(), Mechanism: FailDegrade.String(),
+	})
 }
 
 // slotExit removes s from the group and closes the group when the last slot

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsAcceptance is the PR's acceptance check: under 1% injected
+// panics, FailRestart and FailDegrade keep throughput within 2x of the
+// fault-free baseline while FailStop terminates the run.
+func TestFaultsAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime experiment")
+	}
+	tab, err := Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	byArm := make(map[string][]string, len(tab.Rows))
+	for _, row := range tab.Rows {
+		byArm[row[0]] = row
+	}
+	base := parseF(t, byArm["baseline"][1])
+	if base <= 0 {
+		t.Fatalf("baseline throughput %v", base)
+	}
+	for _, arm := range []string{"fail-restart", "fail-degrade"} {
+		row := byArm[arm]
+		if row == nil {
+			t.Fatalf("arm %q missing", arm)
+		}
+		if row[6] != "completed" {
+			t.Fatalf("%s outcome = %q, want completed", arm, row[6])
+		}
+		if got := parseF(t, row[1]); got < base/2 {
+			t.Fatalf("%s throughput %.1f below half of baseline %.1f", arm, got, base)
+		}
+		if inj := parseF(t, row[3]); inj == 0 {
+			t.Fatalf("%s saw no injected faults", arm)
+		}
+		if row[3] != row[4] {
+			t.Fatalf("%s absorbed %s of %s injected faults", arm, row[4], row[3])
+		}
+	}
+	stop := byArm["fail-stop"]
+	if stop == nil || !strings.HasPrefix(stop[6], "terminated") {
+		t.Fatalf("fail-stop outcome = %v, want terminated", stop)
+	}
+	if deg := parseF(t, byArm["fail-degrade"][5]); deg == 0 {
+		t.Fatal("fail-degrade retired no slots")
+	}
+}

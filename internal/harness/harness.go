@@ -112,6 +112,7 @@ func Experiments() [][2]string {
 		{"table4", "application port summary"},
 		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
 		{"reconfig-dip", "real-runtime reconfiguration cost: in-place resize vs whole-nest respawn"},
+		{"faults", "real-runtime throughput under injected panics, by failure policy"},
 		{"live-transcode", "real-runtime transcode server under WQ-Linear"},
 		{"live-ferret", "real-runtime ferret batch under TBF"},
 		{"live-power", "real-runtime ferret under TPC with a watt budget"},
@@ -161,6 +162,8 @@ func Run(id string, scale float64) (*Table, error) {
 		return Table5(scale), nil
 	case "reconfig-dip":
 		return ReconfigDip()
+	case "faults":
+		return Faults()
 	case "live-transcode":
 		return LiveTranscode()
 	case "live-ferret":

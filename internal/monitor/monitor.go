@@ -43,6 +43,12 @@ type StageStats struct {
 	spawned uint64 // slots ever started
 	retired uint64 // slots that exited because a shrink retired them
 	resizes uint64 // in-place extent changes applied to the stage
+
+	// Failure accounting, maintained by the executive's failure policies:
+	// total functor panics absorbed, and the streak since the stage last
+	// completed an iteration (reset by ObserveIteration).
+	failures   uint64
+	consecFail int
 }
 
 func newStageStats(alpha float64) *StageStats {
@@ -60,6 +66,7 @@ func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
 	s.execTime.Observe(sec)
 	s.execSum += sec
 	s.iterations++
+	s.consecFail = 0
 	if !s.lastAt.IsZero() {
 		gap := now.Sub(s.lastAt).Seconds()
 		if gap > 0 {
@@ -102,6 +109,32 @@ func (s *StageStats) ObserveWorkerExit(retired bool) {
 		s.lastAt = time.Time{}
 	}
 	s.mu.Unlock()
+}
+
+// ObserveFailure records one functor panic absorbed by the stage and
+// returns the consecutive-failure count — the streak since the stage last
+// completed an iteration.
+func (s *StageStats) ObserveFailure() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures++
+	s.consecFail++
+	return s.consecFail
+}
+
+// Failures returns how many functor panics the stage has absorbed.
+func (s *StageStats) Failures() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// ConsecutiveFailures returns the failure streak since the stage last
+// completed an iteration.
+func (s *StageStats) ConsecutiveFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.consecFail
 }
 
 // ObserveResize records one in-place extent change applied to the stage.

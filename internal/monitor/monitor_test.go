@@ -122,3 +122,30 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("iterations = %d", r.Stage(Key{Nest: "n", Stage: "s"}).Iterations())
 	}
 }
+
+func TestFailureCounters(t *testing.T) {
+	s := newStageStats(0.2)
+	if s.Failures() != 0 || s.ConsecutiveFailures() != 0 {
+		t.Fatal("fresh stats report failures")
+	}
+	if got := s.ObserveFailure(); got != 1 {
+		t.Fatalf("first ObserveFailure = %d", got)
+	}
+	if got := s.ObserveFailure(); got != 2 {
+		t.Fatalf("second ObserveFailure = %d", got)
+	}
+	if s.Failures() != 2 || s.ConsecutiveFailures() != 2 {
+		t.Fatalf("counters = %d/%d", s.Failures(), s.ConsecutiveFailures())
+	}
+	// A completed iteration breaks the streak but not the total.
+	s.ObserveIteration(time.Millisecond, time.Unix(1, 0))
+	if s.ConsecutiveFailures() != 0 {
+		t.Fatalf("streak after iteration = %d", s.ConsecutiveFailures())
+	}
+	if s.Failures() != 2 {
+		t.Fatalf("total after iteration = %d", s.Failures())
+	}
+	if got := s.ObserveFailure(); got != 1 {
+		t.Fatalf("streak restarts at %d", got)
+	}
+}
