@@ -4,7 +4,7 @@ GO ?= go
 # this timeout so a hung example fails CI instead of wedging it.
 EXAMPLE_TIMEOUT ?= 120s
 
-.PHONY: build test vet dope-vet examples ci
+.PHONY: build test vet dope-vet examples stalls ci
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,9 @@ examples:
 		echo "== $$d"; \
 		timeout $(EXAMPLE_TIMEOUT) $(GO) run ./$$d; \
 	done
+
+# Stall-tolerance and overload-protection experiment (EXPERIMENTS.md).
+stalls:
+	$(GO) run ./cmd/dope-bench -exp stalls
 
 ci: build vet test examples

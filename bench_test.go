@@ -11,6 +11,7 @@
 package dope_test
 
 import (
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -137,6 +138,32 @@ func BenchmarkReconfigDip(b *testing.B) {
 // absorb the faults and stay within 2x of the fault-free baseline.
 func BenchmarkFaults(b *testing.B) {
 	runExperiment(b, "faults")
+}
+
+// BenchmarkStalls measures the stall-tolerance and overload-protection
+// table: fail-stop surfaces an injected stall (with a goroutine dump)
+// within 2x the stage deadline, fail-restart/fail-degrade finish the batch
+// within 2x of the stall-free baseline, and load shedding keeps p99 sojourn
+// bounded at 2x overload while blocking backpressure does not.
+func BenchmarkStalls(b *testing.B) {
+	tab := runExperiment(b, "stalls")
+	byArm := make(map[string][]string, len(tab.Rows))
+	for _, row := range tab.Rows {
+		byArm[row[0]] = row
+	}
+	p99 := func(arm string) float64 {
+		row := byArm[arm]
+		if row == nil {
+			b.Fatalf("arm %q missing", arm)
+		}
+		v, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			b.Fatalf("arm %q p99 %q: %v", arm, row[6], err)
+		}
+		return v
+	}
+	b.ReportMetric(p99("block"), "block-p99-ms")
+	b.ReportMetric(p99("shed-newest"), "shed-p99-ms")
 }
 
 // --- ablations of design choices (DESIGN.md) --------------------------------

@@ -12,11 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"time"
 
 	"dope"
+	"dope/internal/admin"
 	"dope/internal/apps"
 	"dope/internal/core"
 	"dope/internal/replay"
@@ -71,6 +71,21 @@ func main() {
 				fmt.Printf("%8.3fs task failure %s/%s -> %s%s: failure %d in window, %d consecutive\n",
 					time.Since(start).Seconds(), ev.Nest, ev.Stage, ev.Policy, esc,
 					ev.Failures, ev.ConsecFailures)
+			case dope.EventTaskStall:
+				esc := ""
+				if ev.Escalated {
+					esc = " (escalated)"
+				}
+				during := ""
+				if ev.DuringDrain {
+					during = " during drain"
+				}
+				fmt.Printf("%8.3fs task stall %s/%s -> %s%s%s: %v over the %v deadline\n",
+					time.Since(start).Seconds(), ev.Nest, ev.Stage, ev.Policy, esc, during,
+					ev.Stalled.Round(time.Millisecond), ev.Deadline)
+			case dope.EventShed:
+				fmt.Printf("%8.3fs shed %s/%s: %d items dropped (%d total)\n",
+					time.Since(start).Seconds(), ev.Nest, ev.Stage, ev.ShedItems, ev.ShedTotal)
 			}
 		}))
 	if err != nil {
@@ -83,8 +98,8 @@ func main() {
 
 	if *adminAt != "" {
 		go func() {
-			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats}\n", *adminAt)
-			if err := http.ListenAndServe(*adminAt, d.AdminHandler()); err != nil {
+			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats,healthz}\n", *adminAt)
+			if err := admin.NewServer(*adminAt, d.AdminHandler()).ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "dope-trace: admin:", err)
 			}
 		}()

@@ -1,11 +1,12 @@
 // Command dope-vet is the static-analysis suite that enforces DoPE's
 // Begin/End token protocol (the paper's Task interface, Table 2). It runs
-// four analyzers:
+// five analyzers:
 //
-//	beginend     Begin/End balanced on every control-flow path
-//	suspendcheck Begin/End statuses compared against Suspended
-//	tokenhold    no blocking work while a platform context is held
-//	nestspec     statically-constructible specs are well-formed
+//	beginend      Begin/End balanced on every control-flow path
+//	suspendcheck  Begin/End statuses compared against Suspended
+//	tokenhold     no blocking work while a platform context is held
+//	nestspec      statically-constructible specs are well-formed
+//	deadlinecheck deadlined stages watch Worker.Done in their loops
 //
 // It supports two modes:
 //
@@ -28,6 +29,7 @@ import (
 	"strings"
 
 	"dope/internal/analysis/beginend"
+	"dope/internal/analysis/deadlinecheck"
 	"dope/internal/analysis/framework"
 	"dope/internal/analysis/load"
 	"dope/internal/analysis/nestspec"
@@ -41,6 +43,7 @@ func analyzers() []*framework.Analyzer {
 		suspendcheck.Analyzer,
 		tokenhold.Analyzer,
 		nestspec.Analyzer,
+		deadlinecheck.Analyzer,
 	}
 }
 

@@ -86,6 +86,9 @@ type (
 	// FailurePolicy selects how the executive reacts to a panicking stage
 	// functor (StageSpec.OnFailure, WithFailurePolicy).
 	FailurePolicy = core.FailurePolicy
+	// TaskContext is the cooperative cancellation handle of one invocation
+	// (Worker.Context); its Done channel closes when the slot is abandoned.
+	TaskContext = core.TaskContext
 )
 
 // Task status values.
@@ -110,6 +113,8 @@ const (
 	EventFinish      = core.EventFinish
 	EventError       = core.EventError
 	EventTaskFailure = core.EventTaskFailure
+	EventTaskStall   = core.EventTaskStall
+	EventShed        = core.EventShed
 )
 
 // Failure policies (see DESIGN.md "Failure semantics"): FailStop surfaces
@@ -165,6 +170,17 @@ var (
 	// WithRestartBackoff sets the FailRestart backoff: base doubles per
 	// failure in the window, capped at max.
 	WithRestartBackoff = core.WithRestartBackoff
+	// WithDeadline sets the executive-wide default invocation deadline for
+	// stages whose spec leaves Deadline zero; the stall watchdog applies the
+	// stage's failure policy to any Begin/End window that outlives it.
+	WithDeadline = core.WithDeadline
+	// WithDrainTimeout bounds every suspend drain (reconfiguration or Stop);
+	// on expiry the straggling slots are escalated per their failure policy
+	// instead of wedging Wait forever.
+	WithDrainTimeout = core.WithDrainTimeout
+	// WithStallCheckInterval overrides the watchdog polling period (default:
+	// a quarter of the tightest deadline, clamped to [100µs, 25ms]).
+	WithStallCheckInterval = core.WithStallCheckInterval
 )
 
 // DefaultConfig returns alternative 0 with extent 1 everywhere.
@@ -352,10 +368,10 @@ var Mechanisms = struct {
 
 // AdminHandler returns an HTTP handler exposing the administrator's
 // console for this running system (§4): GET/PUT /config, GET/PUT
-// /mechanism (by catalog name, or "static"), GET /report, GET /stats.
-// Mount it wherever operators reach, e.g.:
+// /mechanism (by catalog name, or "static"), GET /report, GET /stats,
+// GET /healthz. Mount it behind a server with sane timeouts, e.g.:
 //
-//	go http.ListenAndServe("localhost:7117", d.AdminHandler())
+//	go admin.NewServer("localhost:7117", d.AdminHandler()).ListenAndServe()
 func (d *DoPE) AdminHandler() http.Handler {
 	threads := d.Goal().Threads
 	if threads <= 0 {

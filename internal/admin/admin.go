@@ -13,7 +13,10 @@
 //	PUT  /mechanism  {"name": "tbf"} switch mechanisms by registered name;
 //	                 {"name": "static"} freezes the current configuration
 //	GET  /stats      executive counters (uptime, reconfigurations,
-//	                 suspensions, in-place resizes, ...)
+//	                 suspensions, in-place resizes, stalls, shed items, ...)
+//	GET  /healthz    liveness probe: 200 while healthy, 503 once a task has
+//	                 failed or stalled under FailStop or abandoned (zombie)
+//	                 slots linger, with per-stage detail
 package admin
 
 import (
@@ -22,6 +25,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
+	"time"
 
 	"dope/internal/core"
 	"dope/internal/replay"
@@ -42,7 +47,22 @@ func Handler(e *core.Exec, mechs map[string]MechanismFactory) http.Handler {
 	mux.HandleFunc("/config", h.config)
 	mux.HandleFunc("/mechanism", h.mechanism)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
 	return mux
+}
+
+// NewServer wraps the admin handler in an http.Server with read/write
+// timeouts, so a stuck or slow client cannot pin the admin port's
+// goroutines the way a stalled task can no longer pin the executive.
+func NewServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadTimeout:       5 * time.Second,
+		ReadHeaderTimeout: 2 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 }
 
 type adminState struct {
@@ -58,7 +78,7 @@ func (h *adminState) index(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"endpoints": []string{
 			"GET /report", "GET /config", "PUT /config",
-			"GET /mechanism", "PUT /mechanism", "GET /stats",
+			"GET /mechanism", "PUT /mechanism", "GET /stats", "GET /healthz",
 		},
 		"mechanisms": h.names(),
 	})
@@ -156,14 +176,95 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	var stalls, shed uint64
+	var zombies int
+	walkStages(h.exec.Report().Root, func(nest string, sr *core.StageReport) {
+		stalls += sr.Stalls
+		shed += sr.Shed
+		zombies += sr.Zombies
+	})
 	writeJSON(w, map[string]any{
 		"uptimeSec":        h.exec.Uptime().Seconds(),
 		"reconfigurations": h.exec.Reconfigurations(),
 		"suspensions":      h.exec.Suspensions(),
 		"resizes":          h.exec.Resizes(),
 		"taskFailures":     h.exec.TaskFailures(),
+		"taskStalls":       h.exec.TaskStalls(),
+		"stageStalls":      stalls,
+		"shedItems":        shed,
+		"zombieSlots":      zombies,
 		"contexts":         h.exec.Contexts().N(),
 		"busyContexts":     h.exec.Contexts().Busy(),
 		"peakContexts":     h.exec.Contexts().Peak(),
+	})
+}
+
+// walkStages visits every stage report in the nest tree.
+func walkStages(n *core.NestReport, visit func(nestPath string, sr *core.StageReport)) {
+	if n == nil {
+		return
+	}
+	for i := range n.Stages {
+		visit(n.Path, &n.Stages[i])
+	}
+	for _, child := range n.Children {
+		walkStages(child, visit)
+	}
+}
+
+// stageHealth is one unhealthy stage's detail in the /healthz body.
+type stageHealth struct {
+	Nest              string `json:"nest"`
+	Stage             string `json:"stage"`
+	Stalls            uint64 `json:"stalls"`
+	StallsDuringDrain uint64 `json:"stallsDuringDrain"`
+	Zombies           int    `json:"zombies"`
+	Shed              uint64 `json:"shed"`
+	Workers           int    `json:"workers"`
+}
+
+// healthz is the load-balancer probe. 200 while the executive is healthy;
+// 503 once a task failure or stall escalated to FailStop (the run error is
+// set — the executive is terminating) or while abandoned (zombie) slots
+// linger. Stages that have ever stalled or shed stay listed in the detail
+// body either way, so a probe flapping back to 200 still shows history.
+func (h *adminState) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	detail := []stageHealth{}
+	zombies := 0
+	walkStages(h.exec.Report().Root, func(nest string, sr *core.StageReport) {
+		zombies += sr.Zombies
+		if sr.Stalls > 0 || sr.Zombies > 0 || sr.Shed > 0 {
+			detail = append(detail, stageHealth{
+				Nest: nest, Stage: sr.Name,
+				Stalls: sr.Stalls, StallsDuringDrain: sr.StallsDuringDrain,
+				Zombies: sr.Zombies, Shed: sr.Shed, Workers: sr.Workers,
+			})
+		}
+	})
+	status, code := "ok", http.StatusOK
+	var failure any
+	if zombies > 0 {
+		status, code = "stalled", http.StatusServiceUnavailable
+	}
+	if err := h.exec.Err(); err != nil {
+		status, code = "failed", http.StatusServiceUnavailable
+		// The run error may carry a multi-page goroutine dump; the probe
+		// body keeps the headline and leaves the dump to GET /report logs.
+		failure, _, _ = strings.Cut(err.Error(), "\n")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"status":     status,
+		"error":      failure,
+		"taskStalls": h.exec.TaskStalls(),
+		"zombies":    zombies,
+		"stages":     detail,
 	})
 }

@@ -1,0 +1,12 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/deadlinecheck"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", deadlinecheck.Analyzer, "deadlinecheck")
+}

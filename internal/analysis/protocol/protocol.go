@@ -33,6 +33,28 @@ func WorkerMethod(info *types.Info, call *ast.CallExpr) string {
 	return sel.Sel.Name
 }
 
+// TaskContextMethod returns the method name ("Done") if call is a method
+// call on core.TaskContext, else "".
+func TaskContextMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	if !isCoreNamed(s.Recv(), "TaskContext") {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// IsCoreType reports whether t (or its pointee) is the named type
+// CorePath.name — exported for analyzers that match composite literals
+// (StageSpec, AltSpec, ...) rather than method calls.
+func IsCoreType(t types.Type, name string) bool { return isCoreNamed(t, name) }
+
 // IsSuspended reports whether e denotes the core.Status constant Suspended
 // (including the dope.Suspended re-export).
 func IsSuspended(info *types.Info, e ast.Expr) bool {

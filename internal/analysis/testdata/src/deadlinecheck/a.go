@@ -1,0 +1,85 @@
+// Seeded violations for the deadlinecheck analyzer.
+package deadlinecheck
+
+import (
+	"time"
+
+	"dope/internal/core"
+)
+
+func spin() {}
+
+// A deadlined stage whose functor loops without any cooperation signal.
+var bad = &core.AltSpec{
+	Name: "loop",
+	Stages: []core.StageSpec{
+		{Name: "wedge", Type: core.PAR, Deadline: 10 * time.Millisecond},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				for { // want `stage "wedge" sets Deadline but this loop never checks`
+					spin()
+				}
+			},
+		}}}, nil
+	},
+}
+
+// The functor named by Fn resolves through the identifier; the range loop
+// inside it is just as stallable as a bare for.
+func rangeLoop(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	for i := range [1 << 30]struct{}{} { // want `stage "named" sets Deadline but this loop never checks`
+		_ = i
+		spin()
+	}
+	return w.End()
+}
+
+var badNamed = &core.AltSpec{
+	Name: "named-fn",
+	Stages: []core.StageSpec{
+		{Name: "named", Type: core.PAR, Deadline: time.Second},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{{Fn: rangeLoop}}}, nil
+	},
+}
+
+// Only the deadlined stage of a mixed alternative is checked: the first
+// stage has no deadline, so only the second stage's loop is reported.
+var badMixed = &core.AltSpec{
+	Name: "mixed",
+	Stages: []core.StageSpec{
+		{Name: "head", Type: core.SEQ},
+		{Name: "slow", Type: core.PAR, Deadline: 50 * time.Millisecond},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{
+			{
+				Fn: func(w *core.Worker) core.Status {
+					for {
+						spin()
+					}
+				},
+			},
+			{
+				Fn: func(w *core.Worker) core.Status {
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
+					for i := 0; i < 1000000; i++ { // want `stage "slow" sets Deadline but this loop never checks`
+						spin()
+					}
+					return w.End()
+				},
+			},
+		}}, nil
+	},
+}

@@ -2,6 +2,8 @@
 // path, type names, and signatures the analyzers match on, with no behavior.
 package core
 
+import "time"
+
 type Status int
 
 const (
@@ -25,6 +27,13 @@ func (w *Worker) Suspending() bool { return false }
 func (w *Worker) Extent() int      { return 1 }
 func (w *Worker) Item() any        { return nil }
 
+type TaskContext struct{}
+
+func (c *TaskContext) Done() <-chan struct{} { return nil }
+
+func (w *Worker) Done() <-chan struct{} { return nil }
+func (w *Worker) Context() *TaskContext { return nil }
+
 func (w *Worker) RunNest(spec *NestSpec, item any) (Status, error) {
 	return Executing, nil
 }
@@ -34,6 +43,7 @@ type Functor func(w *Worker) Status
 type StageFns struct {
 	Fn   Functor
 	Load func() float64
+	Shed func() uint64
 	Init func()
 	Fini func()
 }
@@ -43,11 +53,12 @@ type AltInstance struct {
 }
 
 type StageSpec struct {
-	Name   string
-	Type   TaskType
-	MinDoP int
-	MaxDoP int
-	Nest   *NestSpec
+	Name     string
+	Type     TaskType
+	MinDoP   int
+	MaxDoP   int
+	Nest     *NestSpec
+	Deadline time.Duration
 }
 
 type AltSpec struct {

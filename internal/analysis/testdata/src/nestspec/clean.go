@@ -27,7 +27,7 @@ func dynamic(name string, min, max int) *core.NestSpec {
 var zeroValue = core.StageSpec{}
 
 // positional exercises the unkeyed-literal field mapping.
-var positional = core.StageSpec{"s0", core.PAR, 1, 4, nil}
+var positional = core.StageSpec{"s0", core.PAR, 1, 4, nil, 0}
 
 // unboundedMax: MaxDoP 0 means unbounded, so MinDoP 4 is consistent.
 var unboundedMax = core.StageSpec{

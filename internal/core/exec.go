@@ -62,6 +62,17 @@ type Exec struct {
 	restartBase  time.Duration
 	restartMax   time.Duration
 	taskFailures atomic.Uint64
+
+	// Stall tolerance (stall.go): the executive-wide invocation deadline
+	// default, the drain timeout for suspensions, the watchdog's patrol
+	// interval override, and the watchdog's registry of live worker groups.
+	deadline     time.Duration
+	drainTimeout time.Duration
+	stallCheck   time.Duration
+	taskStalls   atomic.Uint64
+	watchMu      sync.Mutex
+	watched      map[*workerGroup]struct{}
+	shedSeen     map[monitor.Key]uint64
 }
 
 // run is one suspension domain: the lifetime of one set of top-level task
@@ -70,6 +81,9 @@ type Exec struct {
 // place instead of suspending everything.
 type run struct {
 	suspend atomic.Bool
+	// suspendAt is when suspension was requested (unix nanoseconds); the
+	// drain watchdog measures the drain's age against it.
+	suspendAt atomic.Int64
 
 	mu     sync.Mutex
 	groups []*workerGroup
@@ -78,6 +92,20 @@ type run struct {
 func (r *run) suspending() bool { return r.suspend.Load() }
 
 func (r *run) requestSuspend() { r.suspend.Store(true) }
+
+// cancelAll closes every registered top-level slot's Done channel so
+// cooperative functors observe the drain request without polling. Nested
+// groups are not registered here; they drain naturally with their parent's
+// current work item (the same scoping as Worker.Suspending), and the drain
+// watchdog covers the ones that do not.
+func (r *run) cancelAll() {
+	r.mu.Lock()
+	groups := r.groups
+	r.mu.Unlock()
+	for _, g := range groups {
+		g.cancelSlots()
+	}
+}
 
 // setGroups registers the top-level stage worker groups. Called with the
 // executive's installMu held so registration cannot interleave with a
@@ -227,6 +255,8 @@ func New(root *NestSpec, opts ...Option) (*Exec, error) {
 		failWindow:  DefaultFailureWindow,
 		restartBase: defaultRestartBackoff,
 		restartMax:  defaultRestartBackoffMax,
+		watched:     make(map[*workerGroup]struct{}),
+		shedSeen:    make(map[monitor.Key]uint64),
 	}
 	if os.Getenv("DOPE_DEBUG") == "1" {
 		e.protocolCheck = true
@@ -361,6 +391,7 @@ func (e *Exec) Start() error {
 	e.curRun.Store(&run{})
 	go e.serve()
 	go e.control()
+	go e.watchdog()
 	return nil
 }
 
@@ -395,8 +426,14 @@ func (e *Exec) Done() <-chan struct{} { return e.doneCh }
 func (e *Exec) suspendCurrent() {
 	if r := e.curRun.Load(); r != nil {
 		if !r.suspend.Swap(true) {
+			at := e.clock.Now().UnixNano()
+			if at == 0 {
+				at = 1 // virtual clocks may sit at the epoch; 0 means "not suspending"
+			}
+			r.suspendAt.Store(at)
 			e.suspends.Add(1)
 			e.emit(Event{Kind: EventSuspend})
+			r.cancelAll()
 		}
 	}
 }
@@ -598,15 +635,22 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 		if window <= 0 {
 			window = e.failWindow
 		}
+		deadline := st.Deadline
+		if deadline <= 0 {
+			deadline = e.deadline
+		}
 		groups = append(groups, &workerGroup{
 			exec: e, r: r, key: key, stats: e.mon.Stage(key),
 			st: st, fns: fns, path: path, top: top, item: item,
 			altIdx: cfg.Alt, idx: i,
 			policy: policy, budget: budget, window: window,
-			target: st.clampExtent(cfg.Extent(i)),
-			done:   make(chan struct{}),
+			deadline: deadline,
+			target:   st.clampExtent(cfg.Extent(i)),
+			done:     make(chan struct{}),
 		})
-		releases = append(releases, e.mon.RegisterLoad(key, fns.Load))
+		relLoad := e.mon.RegisterLoad(key, fns.Load)
+		relShed := e.mon.RegisterShed(key, fns.Shed)
+		releases = append(releases, func() { relLoad(); relShed() })
 	}
 	if top {
 		// Register the groups and re-resolve the extents under the install
@@ -644,6 +688,13 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 		if g.suspended() {
 			return Suspended, nil
 		}
+	}
+	if top && r.suspending() {
+		// All slots were abandoned by the drain watchdog rather than
+		// exiting Suspended themselves; the run still drained for a
+		// suspension, not to completion, so serve must respawn (or honor
+		// Stop), not report Finished.
+		return Suspended, nil
 	}
 	return Finished, nil
 }

@@ -55,6 +55,16 @@ type StageReport struct {
 	// budget escalates it to FailStop.
 	Failures            uint64
 	ConsecutiveFailures int
+	// Stalls counts deadline overruns the watchdog detected for the stage;
+	// StallsDuringDrain is the subset detected while the run was draining
+	// for a reconfiguration or Stop. Zombies is the live gauge of abandoned
+	// slots whose goroutines have not exited.
+	Stalls            uint64
+	StallsDuringDrain uint64
+	Zombies           int
+	// Shed counts items the stage's in-queue dropped under its overload
+	// policy (cumulative across instances; see queue.OverloadPolicy).
+	Shed uint64
 }
 
 // NestReport is the monitored view of one nest under its current
@@ -185,6 +195,10 @@ func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestRepor
 			Resizes:             ss.Resizes(),
 			Failures:            ss.Failures(),
 			ConsecutiveFailures: ss.ConsecutiveFailures(),
+			Stalls:              ss.Stalls(),
+			StallsDuringDrain:   ss.StallsDuringDrain(),
+			Zombies:             ss.Zombies(),
+			Shed:                e.mon.Shed(key),
 		})
 		if st.Nest != nil {
 			if nr.Children == nil {
@@ -223,6 +237,16 @@ const (
 	// stack captured at the recovery site. Under FailStop an EventError
 	// with the same error follows.
 	EventTaskFailure
+	// EventTaskStall: an invocation overran its deadline (or outlived the
+	// drain timeout, which DuringDrain flags) and the watchdog abandoned
+	// its slot under the stage's failure policy. Deadline and Stalled carry
+	// the limit and the overrun age; under FailStop, Err and Stack carry
+	// the stall error with a full goroutine dump.
+	EventTaskStall
+	// EventShed: a stage's in-queue dropped items under its overload
+	// policy since the last watchdog patrol. ShedItems is the delta,
+	// ShedTotal the stage's cumulative count.
+	EventShed
 )
 
 // String returns the event kind's name.
@@ -242,6 +266,10 @@ func (k EventKind) String() string {
 		return "error"
 	case EventTaskFailure:
 		return "task-failure"
+	case EventTaskStall:
+		return "task-stall"
+	case EventShed:
+		return "shed"
 	default:
 		return "unknown"
 	}
@@ -273,10 +301,23 @@ type Event struct {
 	Policy    FailurePolicy
 	Escalated bool
 	// Failures is the stage's failure count within its rolling budget
-	// window at emission; ConsecFailures the consecutive failures since
-	// the stage last completed an iteration.
+	// window at emission (stalls share the window); ConsecFailures the
+	// consecutive failures since the stage last completed an iteration.
 	Failures       int
 	ConsecFailures int
-	// Stack is the goroutine stack captured where the panic was recovered.
+	// Stack is the goroutine stack captured where the panic was recovered
+	// (EventTaskFailure) or a full goroutine dump taken by the watchdog
+	// (EventTaskStall under FailStop).
 	Stack string
+	// DuringDrain marks an EventTaskStall raised by the drain watchdog;
+	// Deadline is the stage's invocation deadline (zero for pure drain
+	// timeouts) and Stalled how long the invocation had been running when
+	// abandoned.
+	DuringDrain bool
+	Deadline    time.Duration
+	Stalled     time.Duration
+	// ShedItems and ShedTotal carry an EventShed's delta and cumulative
+	// per-stage shed counts.
+	ShedItems uint64
+	ShedTotal uint64
 }

@@ -20,6 +20,11 @@ type StageFns struct {
 	// Load reports the stage's current workload (typically its in-queue
 	// occupancy); optional.
 	Load func() float64
+	// Shed reports how many items the stage's in-queue has dropped under
+	// its overload policy (typically queue.Queue.Shed); optional. The
+	// executive aggregates it into StageReport.Shed and emits EventShed
+	// when it grows.
+	Shed func() uint64
 	// Init runs once before any worker executes Fn (the paper's InitCB);
 	// optional.
 	Init func()
@@ -62,6 +67,14 @@ type StageSpec struct {
 	// (DefaultFailureBudget per DefaultFailureWindow, or WithFailureBudget).
 	FailureBudget int
 	FailureWindow time.Duration
+	// Deadline bounds one invocation's Begin..End CPU section. The
+	// executive's watchdog treats an overrun as a stall and applies
+	// OnFailure (see stall.go). Zero defers to the executive-wide
+	// WithDeadline default, which itself defaults to none. Functors of
+	// deadlined stages should watch Worker.Done() (or Context().Done())
+	// inside long loops so a cancelled invocation can stop cooperatively
+	// instead of leaking a goroutine.
+	Deadline time.Duration
 }
 
 // AltSpec is one alternative parallelization of a loop (one ParDescriptor).
@@ -145,6 +158,9 @@ func (n *NestSpec) validate(seen map[*NestSpec]bool) error {
 			}
 			if st.FailureBudget < 0 || st.FailureWindow < 0 {
 				return fmt.Errorf("core: stage %q has negative failure budget or window", st.Name)
+			}
+			if st.Deadline < 0 {
+				return fmt.Errorf("core: stage %q has negative deadline", st.Name)
 			}
 			if st.Nest != nil {
 				if childNames[st.Nest.Name] {

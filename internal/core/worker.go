@@ -36,6 +36,10 @@ type Worker struct {
 	// since drain stages may still work and End before propagating). Only
 	// consulted by the misuse detector (WithProtocolCheck / DOPE_DEBUG=1).
 	began bool
+	// counted reports whether the current Begin registered its invocation
+	// window with the slot (false once the stall watchdog has abandoned the
+	// slot — the iteration must then stay invisible to the monitors).
+	counted bool
 }
 
 // violation panics with a protocol-violation message. The worker loop
@@ -89,6 +93,11 @@ func (w *Worker) Begin() Status {
 	w.exec.contexts.Acquire()
 	w.holding = true
 	w.beginAt = w.exec.clock.Now()
+	// Open the invocation window the stall watchdog patrols. A slot
+	// abandoned between the Suspending check and here refuses the window;
+	// the worker then still owns the token (the watchdog had nothing to
+	// reclaim) and End releases it without observing the iteration.
+	w.counted = w.gslot == nil || w.gslot.openWindow(w.beginAt)
 	return Executing
 }
 
@@ -101,15 +110,45 @@ func (w *Worker) End() Status {
 	}
 	w.began = false
 	if w.holding {
-		now := w.exec.clock.Now()
-		w.stats.ObserveIteration(now.Sub(w.beginAt), now)
+		release, observe := true, w.counted
+		if w.counted && w.gslot != nil {
+			// Close the watchdog window; if the slot was abandoned while it
+			// was open, the watchdog already released the token and told the
+			// monitors the slot is gone, so this (late) End must do neither.
+			release, observe = w.gslot.closeWindow()
+		}
 		w.holding = false
-		w.exec.contexts.Release()
+		if observe {
+			now := w.exec.clock.Now()
+			w.stats.ObserveIteration(now.Sub(w.beginAt), now)
+		}
+		if release {
+			w.exec.contexts.Release()
+		}
 	}
 	if w.Suspending() {
 		return Suspended
 	}
 	return Executing
+}
+
+// Done returns a channel closed when the executive no longer wants this
+// worker's slot to keep working: the slot was retired by a shrink,
+// abandoned by the stall watchdog after a deadline overrun, or its run
+// began suspending for a reconfiguration or Stop. Functors of deadlined
+// stages should select on it inside long loops or waits so a cancelled
+// invocation stops cooperatively instead of leaking its goroutine.
+func (w *Worker) Done() <-chan struct{} {
+	if w.gslot == nil {
+		return nil
+	}
+	return w.gslot.cancelCh
+}
+
+// Context returns the slot's cooperative cancellation handle, suitable for
+// passing down into application code that should not see the full Worker.
+func (w *Worker) Context() *TaskContext {
+	return &TaskContext{done: w.Done()}
 }
 
 // RunNest instantiates the nested loop spec for item under the current

@@ -20,9 +20,66 @@ import (
 type groupSlot struct {
 	id     int
 	retire atomic.Bool
+
+	// cancelCh is the slot's cooperative cancellation signal, surfaced to
+	// functors as Worker.Done(). It is closed (once) when the slot is
+	// retired, abandoned by the stall watchdog, or its run suspends.
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+
+	// The invocation window brackets the worker's Begin..End CPU section
+	// for the stall watchdog. All transitions are under winMu so the
+	// watchdog abandoning the slot and a late End racing it settle the
+	// platform-token and monitor accounting exactly once: if the watchdog
+	// abandons mid-window it reclaims the token itself (reclaimed), and the
+	// late End neither releases a second token nor observes the iteration.
+	winMu     sync.Mutex
+	winOpen   bool
+	winStart  time.Time
+	abandoned bool
+	reclaimed bool
 }
 
 func (s *groupSlot) retiring() bool { return s.retire.Load() }
+
+// cancel closes the slot's Done channel; idempotent.
+func (s *groupSlot) cancel() {
+	s.cancelOnce.Do(func() { close(s.cancelCh) })
+}
+
+// retireAndCancel retires the slot and wakes any functor blocked on Done.
+func (s *groupSlot) retireAndCancel() {
+	s.retire.Store(true)
+	s.cancel()
+}
+
+// openWindow records that the slot's worker entered its CPU section at t.
+// It reports false when the slot was abandoned first — the worker then owns
+// an unaccounted token it must release itself, and the iteration must not
+// reach the monitors.
+func (s *groupSlot) openWindow(t time.Time) bool {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	if s.abandoned {
+		return false
+	}
+	s.winOpen, s.winStart = true, t
+	return true
+}
+
+// closeWindow ends the CPU section and reports whether the worker should
+// release the platform token and observe the iteration. Both are false
+// when the watchdog abandoned the slot mid-window: it already reclaimed
+// the token, and the monitors were told the slot is gone.
+func (s *groupSlot) closeWindow() (release, observe bool) {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	s.winOpen = false
+	if s.abandoned {
+		return !s.reclaimed, false
+	}
+	return true, true
+}
 
 // workerGroup owns the worker goroutines of one stage instance. It is the
 // unit of in-place reconfiguration: the executive grows a group by spawning
@@ -43,10 +100,13 @@ type workerGroup struct {
 	idx    int // stage index within the alternative (config extent slot)
 
 	// Failure handling, resolved from the stage spec and the executive
-	// defaults at group creation (see failure.go).
-	policy FailurePolicy
-	budget int
-	window time.Duration
+	// defaults at group creation (see failure.go). deadline bounds one
+	// invocation's Begin..End section for the stall watchdog (stall.go);
+	// zero means unwatched.
+	policy   FailurePolicy
+	budget   int
+	window   time.Duration
+	deadline time.Duration
 
 	mu        sync.Mutex
 	slots     []*groupSlot // live slots, including those draining a retirement
@@ -54,6 +114,7 @@ type workerGroup struct {
 	started   bool
 	closed    bool // all slots exited; resizes are no-ops from here on
 	sawSusp   bool // a non-retired slot exited with Suspended
+	sawFin    bool // a slot exited with Finished: the stage's input is exhausted
 	failTimes []time.Time // failure timestamps within the rolling window
 	done      chan struct{}
 }
@@ -69,8 +130,10 @@ func (g *workerGroup) setTarget(n int) {
 	g.mu.Unlock()
 }
 
-// start spawns the group's initial slots. Must be called exactly once.
+// start spawns the group's initial slots and registers the group with the
+// stall watchdog. Must be called exactly once.
 func (g *workerGroup) start() {
+	g.exec.watch(g)
 	g.mu.Lock()
 	g.started = true
 	g.spawnLocked(g.target)
@@ -99,7 +162,7 @@ func (g *workerGroup) resize(n int) (from int, changed bool) {
 		// Retire from the top so steady-state slot ids stay [0, extent).
 		sort.Slice(active, func(i, j int) bool { return active[i].id > active[j].id })
 		for _, s := range active[:len(active)-n] {
-			s.retire.Store(true)
+			s.retireAndCancel()
 		}
 	case n > len(active):
 		g.spawnLocked(n - len(active))
@@ -134,7 +197,12 @@ func (g *workerGroup) spawnLocked(n int) {
 			id++
 		}
 		used[id] = true
-		s := &groupSlot{id: id}
+		s := &groupSlot{id: id, cancelCh: make(chan struct{})}
+		if g.r.suspending() {
+			// The run began suspending between this spawn's trigger and
+			// now; a slot born cancelled keeps Done() truthful for it.
+			s.cancel()
+		}
 		g.slots = append(g.slots, s)
 		g.stats.ObserveWorkerStart()
 		go g.runSlot(s)
@@ -164,6 +232,14 @@ func (g *workerGroup) runSlot(s *groupSlot) {
 			if st == Suspended && !s.retiring() {
 				g.mu.Lock()
 				g.sawSusp = true
+				g.mu.Unlock()
+			}
+			if st == Finished {
+				// Recorded before the deferred slotExit removes the slot, so
+				// anyone holding g.mu sees either this slot still active or
+				// sawFin already set — never neither.
+				g.mu.Lock()
+				g.sawFin = true
 				g.mu.Unlock()
 			}
 			return
@@ -235,6 +311,7 @@ func (g *workerGroup) failed(s *groupSlot, p any, stack []byte) (respawn bool) {
 	g.failTimes = append(kept, now)
 	inWindow := len(g.failTimes)
 	active := len(g.activeLocked())
+	streamDone := g.sawFin
 	g.mu.Unlock()
 
 	consec := g.stats.ObserveFailure()
@@ -247,7 +324,11 @@ func (g *workerGroup) failed(s *groupSlot, p any, stack []byte) (respawn bool) {
 			policy, escalated = FailStop, true
 		}
 	case FailDegrade:
-		if active <= 1 {
+		// Degrading the last active slot normally kills the stage while
+		// upstream may still feed it, so it escalates — unless a sibling
+		// already finished the stream, in which case retiring the last
+		// slot just completes the (input-exhausted) stage.
+		if active <= 1 && !streamDone {
 			policy, escalated = FailStop, true
 		}
 	}
@@ -313,7 +394,7 @@ func (g *workerGroup) degrade(s *groupSlot) {
 	e := g.exec
 	e.installMu.Lock()
 	g.mu.Lock()
-	s.retire.Store(true)
+	s.retireAndCancel()
 	from := g.target
 	if g.target > 1 {
 		g.target--
@@ -339,14 +420,25 @@ func (g *workerGroup) degrade(s *groupSlot) {
 
 // slotExit removes s from the group and closes the group when the last slot
 // leaves. Fini (run by the nest) must only fire once every slot is out, so
-// the close condition counts retiring slots too.
+// the close condition counts retiring slots too. A slot the watchdog
+// already abandoned is no longer in the group — its accounting was settled
+// at abandonment and the group may have closed (and the nest respawned)
+// long ago — so only the zombie gauge learns that the goroutine finally
+// exited.
 func (g *workerGroup) slotExit(s *groupSlot) {
 	g.mu.Lock()
+	found := false
 	for i, other := range g.slots {
 		if other == s {
 			g.slots = append(g.slots[:i], g.slots[i+1:]...)
+			found = true
 			break
 		}
+	}
+	if !found {
+		g.mu.Unlock()
+		g.stats.ObserveZombieExit()
+		return
 	}
 	finished := g.started && len(g.slots) == 0 && !g.closed
 	if finished {
@@ -355,6 +447,7 @@ func (g *workerGroup) slotExit(s *groupSlot) {
 	g.mu.Unlock()
 	g.stats.ObserveWorkerExit(s.retiring())
 	if finished {
+		g.exec.unwatch(g)
 		close(g.done)
 	}
 }
@@ -367,4 +460,166 @@ func (g *workerGroup) suspended() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.sawSusp
+}
+
+// cancelSlots closes every live slot's Done channel; the run calls it when
+// it begins suspending so functors blocked inside a CPU section (or on a
+// TaskContext-aware wait) observe the drain request promptly.
+func (g *workerGroup) cancelSlots() {
+	g.mu.Lock()
+	slots := append([]*groupSlot(nil), g.slots...)
+	g.mu.Unlock()
+	for _, s := range slots {
+		s.cancel()
+	}
+}
+
+// patrolDeadline is one watchdog sweep over the group's slots: any open
+// invocation window older than the group's deadline is a stall.
+func (g *workerGroup) patrolDeadline(now time.Time) {
+	if g.deadline <= 0 {
+		return
+	}
+	g.mu.Lock()
+	slots := append([]*groupSlot(nil), g.slots...)
+	g.mu.Unlock()
+	for _, s := range slots {
+		s.winMu.Lock()
+		open, start, gone := s.winOpen, s.winStart, s.abandoned
+		s.winMu.Unlock()
+		if !gone && open {
+			if age := now.Sub(start); age > g.deadline {
+				g.stalled(s, age)
+			}
+		}
+	}
+}
+
+// patrolDrain handles an expired drain timeout: every slot still alive
+// this long after the run began suspending is keeping Wait (and the next
+// configuration) hostage, so each is treated as stalled regardless of
+// deadlines or window state.
+func (g *workerGroup) patrolDrain(age time.Duration) {
+	g.mu.Lock()
+	slots := append([]*groupSlot(nil), g.slots...)
+	g.mu.Unlock()
+	for _, s := range slots {
+		g.stalled(s, age)
+	}
+}
+
+// stalled applies the stage's failure policy to one stalled slot. It
+// mirrors failed(): stalls share the stage's rolling failure window and
+// escalation rules (FailRestart over budget, FailDegrade on the last
+// active slot). Unlike a panic, the stuck goroutine cannot be joined; the
+// slot is abandoned — token reclaimed, accounting fenced, Done closed so a
+// cooperative functor can unblock — and under FailRestart a replacement is
+// spawned unless the run is draining.
+func (g *workerGroup) stalled(s *groupSlot, age time.Duration) {
+	// Claim the stall first: the abandoned flag is the single-settlement
+	// point against both a racing late End and the next patrol tick.
+	s.winMu.Lock()
+	if s.abandoned {
+		s.winMu.Unlock()
+		return
+	}
+	s.abandoned = true
+	reclaim := s.winOpen
+	if reclaim {
+		s.reclaimed = true
+	}
+	s.winMu.Unlock()
+	s.retireAndCancel()
+
+	e := g.exec
+	duringDrain := g.r.suspending()
+	now := e.clock.Now()
+	g.mu.Lock()
+	cut := now.Add(-g.window)
+	kept := g.failTimes[:0]
+	for _, ft := range g.failTimes {
+		if ft.After(cut) {
+			kept = append(kept, ft)
+		}
+	}
+	g.failTimes = append(kept, now)
+	inWindow := len(g.failTimes)
+	active := len(g.activeLocked())
+	streamDone := g.sawFin
+	g.mu.Unlock()
+
+	e.taskStalls.Add(1)
+	g.stats.ObserveStall(duringDrain)
+
+	policy, escalated := g.policy, false
+	if !duringDrain {
+		// During a drain there is nothing to restart into and no extent
+		// worth shrinking; restart/degrade both reduce to the abandonment
+		// below. Outside a drain the panic-path escalation rules apply.
+		switch policy {
+		case FailRestart:
+			if inWindow > g.budget {
+				policy, escalated = FailStop, true
+			}
+		case FailDegrade:
+			// s was already retired above, so unlike failed()'s "active
+			// <= 1" the stage is down to its last slot when no active
+			// slots remain besides it. If a sibling already finished the
+			// stream, though, the input is exhausted and abandoning the
+			// last slot simply completes the stage — nothing upstream can
+			// starve, so degrading (to an empty, closing group) is safe.
+			if active == 0 && !streamDone {
+				policy, escalated = FailStop, true
+			}
+		}
+	}
+
+	var err error
+	var stack []byte
+	if policy == FailStop {
+		stack = allStacks()
+		err = stallError(g.key, age, g.deadline, stack)
+	}
+	e.emit(Event{
+		Kind: EventTaskStall,
+		Nest: g.key.Nest, Stage: g.key.Stage,
+		Policy: policy, Escalated: escalated, DuringDrain: duringDrain,
+		Deadline: g.deadline, Stalled: age,
+		Failures: inWindow, Err: err, Stack: string(stack),
+	})
+
+	if reclaim {
+		e.contexts.Release()
+	}
+	g.stats.ObserveAbandon()
+	g.mu.Lock()
+	for i, other := range g.slots {
+		if other == s {
+			g.slots = append(g.slots[:i], g.slots[i+1:]...)
+			break
+		}
+	}
+	respawn := policy == FailRestart && !duringDrain &&
+		!e.stop.Load() && !g.r.suspending() && !g.closed
+	if respawn {
+		g.spawnLocked(1)
+	}
+	finished := g.started && len(g.slots) == 0 && !g.closed
+	if finished {
+		g.closed = true
+	}
+	g.mu.Unlock()
+	if finished {
+		e.unwatch(g)
+		close(g.done)
+	}
+
+	switch policy {
+	case FailDegrade:
+		if !duringDrain {
+			g.degrade(s)
+		}
+	case FailStop:
+		e.recordTaskFailure(err)
+	}
 }

@@ -31,6 +31,14 @@ const (
 	// Delay stalls the iteration for the configured duration before the
 	// functor body runs; it models a transient hiccup rather than a crash.
 	Delay
+	// Stall blocks the iteration forever inside its Begin/End CPU section:
+	// the victim opens a window and waits on Worker.Done(), so it never
+	// returns unless the executive's stall watchdog (or a drain
+	// cancellation) abandons the slot. It models a task wedged on dead I/O
+	// — the failure deadlines and drain timeouts exist for — while staying
+	// leak-free in tests: abandonment closes Done and the goroutine exits
+	// through the zombie path.
+	Stall
 )
 
 // String returns the kind's name.
@@ -40,6 +48,8 @@ func (k Kind) String() string {
 		return "panic"
 	case Delay:
 		return "delay"
+	case Stall:
+		return "stall"
 	default:
 		return "unknown"
 	}
@@ -163,6 +173,18 @@ func (in *Injector) wrapFn(stage string, fn core.Functor) core.Functor {
 			switch in.kind {
 			case Delay:
 				time.Sleep(in.delay)
+			case Stall:
+				// Open a CPU section and never close it voluntarily: the
+				// invocation-deadline watchdog sees the overdue window. Done
+				// unblocks the goroutine once the slot is abandoned (or the
+				// run drains), so the test process does not accumulate stuck
+				// goroutines.
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				<-w.Done() //dopevet:ignore tokenhold injected stall: blocking inside the window is the fault being simulated
+				w.End() //dopevet:ignore suspendcheck injected stall: End after abandonment is the fenced zombie path
+				return core.Suspended
 			default:
 				panic(&Fault{Stage: stage, Call: n})
 			}

@@ -113,6 +113,7 @@ func Experiments() [][2]string {
 		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
 		{"reconfig-dip", "real-runtime reconfiguration cost: in-place resize vs whole-nest respawn"},
 		{"faults", "real-runtime throughput under injected panics, by failure policy"},
+		{"stalls", "real-runtime stall tolerance (task deadlines) and overload protection (load shedding)"},
 		{"live-transcode", "real-runtime transcode server under WQ-Linear"},
 		{"live-ferret", "real-runtime ferret batch under TBF"},
 		{"live-power", "real-runtime ferret under TPC with a watt budget"},
@@ -164,6 +165,8 @@ func Run(id string, scale float64) (*Table, error) {
 		return ReconfigDip()
 	case "faults":
 		return Faults()
+	case "stalls":
+		return Stalls()
 	case "live-transcode":
 		return LiveTranscode()
 	case "live-ferret":

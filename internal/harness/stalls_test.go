@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStallsAcceptance is the PR's acceptance check for stall tolerance and
+// overload protection:
+//
+//   - fail-stop surfaces an injected stall as a run error carrying a
+//     goroutine dump, detected within 2x the stage deadline;
+//   - fail-restart and fail-degrade absorb every injected stall and finish
+//     the batch within 2x of the stall-free baseline;
+//   - shed-newest keeps p99 sojourn bounded at 2x overload while block's
+//     p99 grows with the backlog.
+func TestStallsAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime experiment")
+	}
+	tab, raw, err := stallsRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+
+	base := raw.arms["stall-free"]
+	if base == nil || base.rate <= 0 {
+		t.Fatalf("stall-free baseline missing or rateless: %+v", base)
+	}
+
+	stop := raw.arms["fail-stop"]
+	if stop == nil || !strings.HasPrefix(stop.outcome, "terminated") {
+		t.Fatalf("fail-stop outcome = %+v, want terminated", stop)
+	}
+	if stop.runErr == nil {
+		t.Fatal("fail-stop recorded no run error")
+	}
+	msg := stop.runErr.Error()
+	if !strings.Contains(msg, "stalled") || !strings.Contains(msg, "deadline") {
+		t.Fatalf("fail-stop error lacks stall attribution: %.200s", msg)
+	}
+	if !strings.Contains(msg, "goroutine ") {
+		t.Fatalf("fail-stop error lacks a goroutine dump: %.200s", msg)
+	}
+	if stop.stalls == 0 {
+		t.Fatal("fail-stop arm observed no stalls")
+	}
+	if stop.maxDetect <= 0 || stop.maxDetect > 2*raw.deadline {
+		t.Fatalf("stall detected at age %v, want within (0, %v]", stop.maxDetect, 2*raw.deadline)
+	}
+
+	for _, arm := range []string{"fail-restart", "fail-degrade"} {
+		res := raw.arms[arm]
+		if res == nil {
+			t.Fatalf("arm %q missing", arm)
+		}
+		if res.outcome != "completed" {
+			t.Fatalf("%s outcome = %q, want completed", arm, res.outcome)
+		}
+		if res.completed != stallReqs {
+			t.Fatalf("%s completed %d of %d requests", arm, res.completed, stallReqs)
+		}
+		if res.stalls == 0 {
+			t.Fatalf("%s absorbed no stalls", arm)
+		}
+		if res.maxDetect > 2*raw.deadline {
+			t.Fatalf("%s detected a stall at age %v, want within %v", arm, res.maxDetect, 2*raw.deadline)
+		}
+		if res.rate < base.rate/2 {
+			t.Fatalf("%s throughput %.1f below half of baseline %.1f", arm, res.rate, base.rate)
+		}
+	}
+
+	block, shedNew, shedOld := raw.arms["block"], raw.arms["shed-newest"], raw.arms["shed-oldest"]
+	for name, res := range map[string]*stallsResult{"block": block, "shed-newest": shedNew, "shed-oldest": shedOld} {
+		if res == nil || res.outcome != "completed" {
+			t.Fatalf("overload arm %q missing or failed: %+v", name, res)
+		}
+	}
+	if block.shed != 0 {
+		t.Fatalf("block arm shed %d items", block.shed)
+	}
+	if block.completed != overItems {
+		t.Fatalf("block completed %d of %d items", block.completed, overItems)
+	}
+	for _, res := range []*stallsResult{shedNew, shedOld} {
+		if res.shed == 0 {
+			t.Fatalf("%s shed nothing under 2x overload", res.name)
+		}
+		if res.completed+res.shed != overItems {
+			t.Fatalf("%s completed %d + shed %d != offered %d", res.name, res.completed, res.shed, overItems)
+		}
+		if res.reportShed != res.queueShed {
+			t.Fatalf("%s StageReport.Shed = %d, queue counted %d", res.name, res.reportShed, res.queueShed)
+		}
+		if res.shedEvents == 0 {
+			t.Fatalf("%s emitted no EventShed", res.name)
+		}
+		if res.p99*2 >= block.p99 {
+			t.Fatalf("%s p99 %.1fms not bounded vs block's %.1fms", res.name, res.p99*1000, block.p99*1000)
+		}
+	}
+}

@@ -49,6 +49,16 @@ type StageStats struct {
 	// completed an iteration (reset by ObserveIteration).
 	failures   uint64
 	consecFail int
+
+	// Stall accounting, maintained by the executive's watchdog: deadline
+	// overruns detected (split out for drain-time stalls), live zombie
+	// slots (abandoned by the watchdog but whose goroutine has not exited),
+	// and shed items carried over from retired queue instances (see
+	// RegisterShed).
+	stalls      uint64
+	stallsDrain uint64
+	zombies     int
+	shedPast    uint64
 }
 
 func newStageStats(alpha float64) *StageStats {
@@ -137,6 +147,82 @@ func (s *StageStats) ConsecutiveFailures() int {
 	return s.consecFail
 }
 
+// ObserveStall records one deadline overrun detected by the watchdog;
+// duringDrain says whether the run was draining for a reconfiguration or
+// Stop when the stall was detected.
+func (s *StageStats) ObserveStall(duringDrain bool) {
+	s.mu.Lock()
+	s.stalls++
+	if duringDrain {
+		s.stallsDrain++
+	}
+	s.mu.Unlock()
+}
+
+// ObserveAbandon records that the watchdog abandoned a stalled worker slot:
+// the live gauge drops (the slot no longer counts toward the stage's
+// capacity) and the zombie gauge rises until the stuck goroutine, if it
+// ever unblocks, exits. As with ObserveWorkerExit, lastAt is cleared when
+// the stage goes idle.
+func (s *StageStats) ObserveAbandon() {
+	s.mu.Lock()
+	if s.workers > 0 {
+		s.workers--
+	}
+	s.zombies++
+	if s.workers == 0 {
+		s.lastAt = time.Time{}
+	}
+	s.mu.Unlock()
+}
+
+// ObserveZombieExit records that an abandoned slot's goroutine finally
+// exited; only the zombie gauge cares — all other accounting for the slot
+// was settled at abandonment.
+func (s *StageStats) ObserveZombieExit() {
+	s.mu.Lock()
+	if s.zombies > 0 {
+		s.zombies--
+	}
+	s.mu.Unlock()
+}
+
+// Stalls returns how many deadline overruns the watchdog has detected.
+func (s *StageStats) Stalls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalls
+}
+
+// StallsDuringDrain returns how many of the stage's stalls were detected
+// while the run was draining.
+func (s *StageStats) StallsDuringDrain() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stallsDrain
+}
+
+// Zombies returns the live count of abandoned-but-not-yet-exited slots.
+func (s *StageStats) Zombies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.zombies
+}
+
+// addShedPast folds the final shed total of a retired queue instance into
+// the durable aggregate.
+func (s *StageStats) addShedPast(n uint64) {
+	s.mu.Lock()
+	s.shedPast += n
+	s.mu.Unlock()
+}
+
+func (s *StageStats) shedPastTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedPast
+}
+
 // ObserveResize records one in-place extent change applied to the stage.
 func (s *StageStats) ObserveResize() {
 	s.mu.Lock()
@@ -218,6 +304,7 @@ type Registry struct {
 	mu     sync.Mutex
 	stages map[Key]*StageStats
 	loads  map[Key]map[int64]func() float64 // live LoadCBs by instance id
+	sheds  map[Key]map[int64]func() uint64  // live shed counters by instance id
 	nextID int64
 }
 
@@ -227,6 +314,7 @@ func NewRegistry(alpha float64) *Registry {
 		alpha:  alpha,
 		stages: make(map[Key]*StageStats),
 		loads:  make(map[Key]map[int64]func() float64),
+		sheds:  make(map[Key]map[int64]func() uint64),
 	}
 }
 
@@ -268,6 +356,56 @@ func (r *Registry) RegisterLoad(key Key, cb func() float64) (release func()) {
 	}
 }
 
+// RegisterShed registers a live shed counter (typically Queue.Shed of the
+// stage's in-queue) for key and returns a handle to unregister it when the
+// instance ends. Unlike load, shed is cumulative: the release folds the
+// counter's final value into the stage's durable aggregate so Shed never
+// goes backwards across reconfigurations. A nil cb registers nothing.
+func (r *Registry) RegisterShed(key Key, cb func() uint64) (release func()) {
+	if cb == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	m, ok := r.sheds[key]
+	if !ok {
+		m = make(map[int64]func() uint64)
+		r.sheds[key] = m
+	}
+	m[id] = cb
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		live := false
+		if m, ok := r.sheds[key]; ok {
+			if _, live = m[id]; live {
+				delete(m, id)
+			}
+		}
+		r.mu.Unlock()
+		if live {
+			r.Stage(key).addShedPast(cb())
+		}
+	}
+}
+
+// Shed returns the stage's cumulative shed-item count: retired instances'
+// totals plus the live counters.
+func (r *Registry) Shed(key Key) uint64 {
+	r.mu.Lock()
+	cbs := make([]func() uint64, 0, 4)
+	for _, cb := range r.sheds[key] {
+		cbs = append(cbs, cb)
+	}
+	r.mu.Unlock()
+	total := r.Stage(key).shedPastTotal()
+	for _, cb := range cbs {
+		total += cb()
+	}
+	return total
+}
+
 // Load polls all live LoadCBs for key and returns their sum (total items
 // waiting for the stage) and how many instances reported.
 func (r *Registry) Load(key Key) (total float64, instances int) {
@@ -301,4 +439,5 @@ func (r *Registry) Reset() {
 	defer r.mu.Unlock()
 	r.stages = make(map[Key]*StageStats)
 	r.loads = make(map[Key]map[int64]func() float64)
+	r.sheds = make(map[Key]map[int64]func() uint64)
 }

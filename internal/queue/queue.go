@@ -25,6 +25,46 @@ import (
 // closed queue is fully drained.
 var ErrClosed = errors.New("queue: closed")
 
+// ErrShed is returned by Enqueue on a full ShedNewest queue: the offered
+// item was dropped (and counted) instead of blocking the producer. It is an
+// overload signal, not a failure; producers typically keep going.
+var ErrShed = errors.New("queue: item shed")
+
+// OverloadPolicy selects what a bounded queue does when an enqueue arrives
+// while it is full. Block is the paper's behavior — backpressure propagates
+// upstream through the blocked producer. The shed policies trade work for
+// latency: the queue never blocks a producer, so under sustained overload
+// the stage's sojourn time stays bounded by capacity/service-rate while the
+// shed counter records the deficit.
+type OverloadPolicy int
+
+const (
+	// Block makes Enqueue wait for space (the default; backpressure).
+	Block OverloadPolicy = iota
+	// ShedOldest drops the queue head to admit the new item — freshest-work
+	// wins, fitting servers where stale requests have already timed out
+	// upstream.
+	ShedOldest
+	// ShedNewest drops the offered item — admitted work is never wasted,
+	// fitting pipelines where upstream stages have already invested in the
+	// queued items.
+	ShedNewest
+)
+
+// String returns the policy's conventional name.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case ShedOldest:
+		return "shed-oldest"
+	case ShedNewest:
+		return "shed-newest"
+	default:
+		return "invalid"
+	}
+}
+
 // Queue is a FIFO of items of type T, safe for any number of concurrent
 // producers and consumers. A capacity of 0 means unbounded.
 type Queue[T any] struct {
@@ -33,36 +73,77 @@ type Queue[T any] struct {
 	notFull  *sync.Cond
 	items    []T
 	capacity int
+	policy   OverloadPolicy
 	closed   bool
 	// wakeCh, when non-nil, is closed to wake DequeueWhile waiters on
 	// enqueue/close. It is created lazily by the first waiter so queues
 	// without DequeueWhile consumers pay nothing per enqueue.
+	//
+	// Wakeup audit: every path that makes an item (or closure) observable —
+	// Enqueue, TryEnqueue, the shed-oldest swap, and Close — must call
+	// wakeLocked before releasing q.mu, or a DequeueWhile waiter sleeps a
+	// full poll period on work that is already there. Dequeue-side
+	// transitions (occupancy dropping) deliberately do not wake: waiters
+	// wait for items, and predicates that watch occupancy fall are served
+	// by the poll timeout. TestBoundedEnqueueWakesDequeueWhile is the
+	// regression test for the enqueue side.
 	wakeCh chan struct{}
 
 	occupancy atomic.Int64 // mirrors len(items) for lock-free Len
 	enqueued  atomic.Uint64
 	dequeued  atomic.Uint64
+	shed      atomic.Uint64
 	peak      atomic.Int64
 }
 
 // New returns an empty queue. capacity <= 0 means unbounded.
 func New[T any](capacity int) *Queue[T] {
-	q := &Queue[T]{capacity: capacity}
+	return NewWithPolicy[T](capacity, Block)
+}
+
+// NewWithPolicy returns an empty queue with the given overload policy. The
+// policy only matters for bounded queues; an unbounded queue never sheds.
+func NewWithPolicy[T any](capacity int, policy OverloadPolicy) *Queue[T] {
+	q := &Queue[T]{capacity: capacity, policy: policy}
 	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
 
-// Enqueue appends item, blocking while a bounded queue is full. It returns
-// ErrClosed if the queue is or becomes closed while waiting.
+// Policy returns the queue's overload policy.
+func (q *Queue[T]) Policy() OverloadPolicy {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy
+}
+
+// Enqueue appends item. On a full bounded queue the overload policy
+// decides: Block waits for space (returning ErrClosed if the queue closes
+// while waiting), ShedOldest drops the queue head to admit the item, and
+// ShedNewest drops the offered item and returns ErrShed.
 func (q *Queue[T]) Enqueue(item T) error {
 	q.mu.Lock()
-	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
-		q.notFull.Wait()
+	if q.policy == Block {
+		for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+			q.notFull.Wait()
+		}
 	}
 	if q.closed {
 		q.mu.Unlock()
 		return ErrClosed
+	}
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		switch q.policy {
+		case ShedNewest:
+			q.shed.Add(1)
+			q.mu.Unlock()
+			return ErrShed
+		case ShedOldest:
+			var zero T
+			q.items[0] = zero
+			q.items = q.items[1:]
+			q.shed.Add(1)
+		}
 	}
 	q.items = append(q.items, item)
 	n := int64(len(q.items))
@@ -258,3 +339,6 @@ func (q *Queue[T]) Enqueued() uint64 { return q.enqueued.Load() }
 
 // Dequeued returns the total number of successful Dequeue operations.
 func (q *Queue[T]) Dequeued() uint64 { return q.dequeued.Load() }
+
+// Shed returns the total number of items dropped by the overload policy.
+func (q *Queue[T]) Shed() uint64 { return q.shed.Load() }

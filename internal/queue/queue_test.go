@@ -374,6 +374,141 @@ func TestDequeueWhileManyWaitersAllDrain(t *testing.T) {
 	}
 }
 
+// Regression test for the enqueue-side wakeup audit: an enqueue into a
+// *bounded* queue — including one by a producer that had been blocked on a
+// full queue — must wake DequeueWhile waiters. The poll is deliberately
+// huge so a missed wakeup hangs until the test timeout instead of being
+// papered over by the periodic re-check.
+func TestBoundedEnqueueWakesDequeueWhile(t *testing.T) {
+	q := New[int](1)
+	if err := q.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	produced := make(chan error, 1)
+	go func() {
+		produced <- q.Enqueue(2) // blocks: queue is full
+	}()
+	time.Sleep(5 * time.Millisecond) // let the producer block
+
+	// Drain item 1; this frees the producer, whose enqueue of item 2 must
+	// wake the next DequeueWhile even with a 10s poll.
+	if v, ok, err := q.DequeueWhile(func() bool { return true }, 10*time.Second); !ok || err != nil || v != 1 {
+		t.Fatalf("first item: got %v %v %v", v, ok, err)
+	}
+	start := time.Now()
+	v, ok, err := q.DequeueWhile(func() bool { return true }, 10*time.Second)
+	if !ok || err != nil || v != 2 {
+		t.Fatalf("second item: got %v %v %v", v, ok, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("unblocked producer's enqueue did not wake the waiter (took %v)", elapsed)
+	}
+	if err := <-produced; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+}
+
+func TestShedNewestDropsOffered(t *testing.T) {
+	q := NewWithPolicy[int](2, ShedNewest)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	start := time.Now()
+	if err := q.Enqueue(3); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("shed-newest enqueue blocked")
+	}
+	if q.Shed() != 1 {
+		t.Fatalf("shed = %d", q.Shed())
+	}
+	// Queue contents untouched: oldest work survives.
+	if v, _ := q.Dequeue(); v != 1 {
+		t.Fatalf("head = %d", v)
+	}
+	if v, _ := q.Dequeue(); v != 2 {
+		t.Fatalf("next = %d", v)
+	}
+	if q.Enqueued() != 2 {
+		t.Fatalf("enqueued = %d (shed items must not count)", q.Enqueued())
+	}
+}
+
+func TestShedOldestAdmitsFreshest(t *testing.T) {
+	q := NewWithPolicy[int](2, ShedOldest)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if err := q.Enqueue(3); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if q.Shed() != 1 {
+		t.Fatalf("shed = %d", q.Shed())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d (occupancy must stay at capacity)", q.Len())
+	}
+	if v, _ := q.Dequeue(); v != 2 {
+		t.Fatalf("head = %d, want 2 (1 was shed)", v)
+	}
+	if v, _ := q.Dequeue(); v != 3 {
+		t.Fatalf("next = %d", v)
+	}
+}
+
+func TestShedPoliciesNeverBlockProducer(t *testing.T) {
+	for _, p := range []OverloadPolicy{ShedOldest, ShedNewest} {
+		q := NewWithPolicy[int](1, p)
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < 1000; i++ {
+				q.Enqueue(i)
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v producer blocked", p)
+		}
+	}
+}
+
+func TestUnboundedNeverSheds(t *testing.T) {
+	q := NewWithPolicy[int](0, ShedNewest)
+	for i := 0; i < 100; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if q.Shed() != 0 {
+		t.Fatalf("shed = %d", q.Shed())
+	}
+}
+
+func TestShedAfterCloseStillErrClosed(t *testing.T) {
+	q := NewWithPolicy[int](1, ShedNewest)
+	q.Enqueue(1)
+	q.Close()
+	if err := q.Enqueue(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if q.Shed() != 0 {
+		t.Fatalf("shed = %d, closed enqueue must not count as shed", q.Shed())
+	}
+}
+
+func TestOverloadPolicyString(t *testing.T) {
+	cases := map[OverloadPolicy]string{
+		Block: "block", ShedOldest: "shed-oldest", ShedNewest: "shed-newest",
+		OverloadPolicy(42): "invalid",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
 func TestDequeueWhileStopsPredicateChange(t *testing.T) {
 	q := New[int](0)
 	stop := make(chan struct{})

@@ -29,6 +29,19 @@ type PipeStage[T any] struct {
 	Fn func(item T, extent int) T
 }
 
+// OverloadPolicy selects what a full inter-stage queue does with the next
+// item: Block (backpressure, the default), ShedOldest (drop the head to
+// admit the newcomer), or ShedNewest (refuse the newcomer). Re-exported
+// from the queue package.
+type OverloadPolicy = queue.OverloadPolicy
+
+// Overload policies.
+const (
+	Block      = queue.Block
+	ShedOldest = queue.ShedOldest
+	ShedNewest = queue.ShedNewest
+)
+
 // PipelineOptions tune a built pipeline.
 type PipelineOptions struct {
 	// QueueCap bounds each inter-stage queue (default 8). Small caps keep
@@ -41,6 +54,10 @@ type PipelineOptions struct {
 	// stages back to back in one parallel task — the TaskDescriptor choice
 	// TBF's task fusion needs.
 	Fused bool
+	// Overload sets the inter-stage queues' full-queue policy. With a
+	// shedding policy, dropped items never reach later stages or the done
+	// callback; sheds are counted in each downstream stage's StageReport.
+	Overload OverloadPolicy
 }
 
 // ChannelPipeline builds a NestSpec for a linear pipeline consuming items
@@ -70,7 +87,7 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 	n := len(stages)
 	qs := make([]*queue.Queue[T], n-1)
 	for i := range qs {
-		qs[i] = queue.New[T](opts.QueueCap)
+		qs[i] = queue.NewWithPolicy[T](opts.QueueCap, opts.Overload)
 	}
 
 	specStages := make([]core.StageSpec, n)
@@ -181,6 +198,7 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 					}
 					q := in
 					sf.Load = func() float64 { return float64(q.Len()) }
+					sf.Shed = q.Shed
 				}
 				if out != nil {
 					sf.Fini = out.Close
