@@ -12,10 +12,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Standard vet plus the repo's own protocol analyzers (cmd/dope-vet).
+# Standard vet plus the repo's own protocol analyzers (cmd/dope-vet),
+# run both through the go vet unitchecker driver (which exercises the
+# cross-package vetx fact flow) and as the standalone binary.
 vet: dope-vet
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/dope-vet ./...
+	./bin/dope-vet ./...
 
 dope-vet:
 	$(GO) build -o bin/dope-vet ./cmd/dope-vet

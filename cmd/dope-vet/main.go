@@ -1,12 +1,20 @@
 // Command dope-vet is the static-analysis suite that enforces DoPE's
-// Begin/End token protocol (the paper's Task interface, Table 2). It runs
-// five analyzers:
+// Begin/End token protocol (the paper's Task interface, Table 2) and the
+// configuration contracts around it. It runs seven analyzers:
 //
 //	beginend      Begin/End balanced on every control-flow path
 //	suspendcheck  Begin/End statuses compared against Suspended
 //	tokenhold     no blocking work while a platform context is held
 //	nestspec      statically-constructible specs are well-formed
 //	deadlinecheck deadlined stages watch Worker.Done in their loops
+//	goalcheck     goal/mechanism pairings and control intervals are sane
+//	stagealias    sibling stage functors share no aliased mutable state
+//
+// The analyzers summarize exported helpers as object facts (does this
+// function open a Begin/End window? block? cooperate with cancellation?)
+// and check call sites in other packages against them; facts travel
+// between packages through the go command's vetx files in -vettool mode
+// and through the loader's import closure in standalone mode.
 //
 // It supports two modes:
 //
@@ -31,8 +39,10 @@ import (
 	"dope/internal/analysis/beginend"
 	"dope/internal/analysis/deadlinecheck"
 	"dope/internal/analysis/framework"
+	"dope/internal/analysis/goalcheck"
 	"dope/internal/analysis/load"
 	"dope/internal/analysis/nestspec"
+	"dope/internal/analysis/stagealias"
 	"dope/internal/analysis/suspendcheck"
 	"dope/internal/analysis/tokenhold"
 )
@@ -44,6 +54,8 @@ func analyzers() []*framework.Analyzer {
 		tokenhold.Analyzer,
 		nestspec.Analyzer,
 		deadlinecheck.Analyzer,
+		goalcheck.Analyzer,
+		stagealias.Analyzer,
 	}
 }
 
@@ -119,9 +131,18 @@ func runStandalone(patterns []string) int {
 		}
 		units = append(units, us...)
 	}
+	// Summarize every package the units pulled in (in dependency order) so
+	// call-site checks see the facts of imported helpers, then analyze the
+	// units themselves against the populated store.
+	facts := framework.NewFactStore()
+	for _, dep := range l.ImportClosure() {
+		if err := framework.ExportFacts(l.Fset, dep.Files, dep.Types, dep.Info, analyzers(), facts); err != nil {
+			log.Fatalf("%s: %v", dep.ID, err)
+		}
+	}
 	exit := 0
 	for _, u := range units {
-		findings, err := framework.RunPackage(l.Fset, u.Files, u.Types, u.Info, analyzers())
+		findings, err := framework.RunPackageFacts(l.Fset, u.Files, u.Types, u.Info, analyzers(), facts)
 		if err != nil {
 			log.Fatalf("%s: %v", u.ID, err)
 		}

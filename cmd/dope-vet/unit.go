@@ -99,20 +99,36 @@ func runUnit(cfgFile string) {
 		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	// We export no facts, but the go command expects the output file.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
-			log.Fatal(err)
+	// Seed the fact store with the vetx files the go command collected from
+	// this unit's dependencies, so call-site analyzers see the Begin/End
+	// summaries of imported helpers.
+	facts := framework.NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		dep, err := framework.ReadVetxFile(vetx)
+		if err != nil {
+			log.Fatalf("reading facts of %s: %v", path, err)
 		}
+		facts.Merge(dep)
 	}
+
+	// A VetxOnly unit exists purely to produce facts for its dependents:
+	// run the analyzers with reporting disabled and write the store.
 	if cfg.VetxOnly {
+		if err := framework.ExportFacts(fset, files, pkg, info, analyzers(), facts); err != nil {
+			log.Fatalf("%s: %v", cfg.ImportPath, err)
+		}
+		writeVetx(cfg.VetxOutput, facts)
 		os.Exit(0)
 	}
 
-	findings, err := framework.RunPackage(fset, files, pkg, info, analyzers())
+	findings, err := framework.RunPackageFacts(fset, files, pkg, info, analyzers(), facts)
 	if err != nil {
 		log.Fatalf("%s: %v", cfg.ImportPath, err)
 	}
+	// The store now also holds this unit's own facts (the analyzers export
+	// while they run); hand the merged set to dependents. Facts accumulate
+	// transitively this way, so a dependent sees indirect helpers too.
+	writeVetx(cfg.VetxOutput, facts)
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
 			f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
@@ -121,6 +137,17 @@ func runUnit(cfgFile string) {
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// writeVetx persists the fact store where the go command asked for it. The
+// output file is mandatory when requested, even if no facts were produced.
+func writeVetx(path string, facts *framework.FactStore) {
+	if path == "" {
+		return
+	}
+	if err := facts.WriteVetxFile(path); err != nil {
+		log.Fatal(err)
+	}
 }
 
 var versionRE = regexp.MustCompile(`^go\d+\.\d+`)

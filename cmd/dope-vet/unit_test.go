@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolFactsRoundTrip drives dope-vet through the real go vet
+// unitchecker protocol over a two-package module: a helper package whose
+// exported function opens a Begin/End window, and a caller package that
+// drops the returned status. The diagnostic at the caller is only possible
+// if the helper's window fact survived the encode-to-vetx / decode-from-
+// vetx round trip between the two per-package tool invocations.
+func TestVetToolFactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and invokes go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "dope-vet")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dope-vet: %v\n%s", err, out)
+	}
+
+	// A throwaway module with two packages, depending on the real module
+	// for the core types the analyzers anchor on.
+	mod := filepath.Join(tmp, "vetxtest")
+	writeFile(t, filepath.Join(mod, "go.mod"), fmt.Sprintf(
+		"module vetxtest\n\ngo 1.22\n\nrequire dope v0.0.0\n\nreplace dope => %s\n", repoRoot))
+	writeFile(t, filepath.Join(mod, "helper", "helper.go"), `// Package helper opens Begin/End windows on behalf of its callers.
+package helper
+
+import "dope"
+
+// Open claims a context for the caller, who must observe the status and
+// eventually call End.
+func Open(w *dope.Worker) dope.Status {
+	return w.Begin() //dopevet:ignore beginend deliberate opener: the caller closes the window
+}
+`)
+	writeFile(t, filepath.Join(mod, "use", "use.go"), `// Package use calls helper from across a package boundary.
+package use
+
+import (
+	"dope"
+
+	"vetxtest/helper"
+)
+
+// Drops ignores the status of the helper-opened window and never Ends.
+func Drops(w *dope.Worker) {
+	helper.Open(w)
+}
+
+// Balanced closes the helper-opened window properly.
+func Balanced(w *dope.Worker) dope.Status {
+	if helper.Open(w) == dope.Suspended {
+		return dope.Suspended
+	}
+	return w.End()
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	vet.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded; want the cross-package Begin/End finding\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "still holding a platform context") {
+		t.Fatalf("go vet output lacks the leak diagnostic:\n%s", text)
+	}
+	if !strings.Contains(text, filepath.Join("use", "use.go")) && !strings.Contains(text, "use.go") {
+		t.Fatalf("diagnostic not attributed to the caller package:\n%s", text)
+	}
+	// The helper's own deliberate-opener diagnostic is suppressed at the
+	// declaration; only the caller-side finding may appear.
+	if strings.Contains(text, "helper.go") {
+		t.Fatalf("suppressed helper-side diagnostic leaked through:\n%s", text)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

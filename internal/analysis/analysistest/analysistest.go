@@ -67,8 +67,18 @@ func runPackage(t *testing.T, testdata string, a *framework.Analyzer, pkg string
 	if len(units) == 0 {
 		t.Fatalf("analysistest: no Go files in %s", dir)
 	}
+	// Fact closure: replay the analyzer over every fixture dependency in
+	// dependency order, diagnostics discarded, so cross-package facts exist
+	// before the unit under test is checked — the same flow the unitchecker
+	// driver performs with vetx files.
+	facts := framework.NewFactStore()
+	for _, dep := range l.ImportClosure() {
+		if err := framework.ExportFacts(l.Fset, dep.Files, dep.Types, dep.Info, []*framework.Analyzer{a}, facts); err != nil {
+			t.Fatalf("analysistest: exporting facts of %s: %v", dep.ImportPath, err)
+		}
+	}
 	for _, u := range units {
-		findings, err := framework.RunPackage(l.Fset, u.Files, u.Types, u.Info, []*framework.Analyzer{a})
+		findings, err := framework.RunPackageFacts(l.Fset, u.Files, u.Types, u.Info, []*framework.Analyzer{a}, facts)
 		if err != nil {
 			t.Fatalf("analysistest: running %s on %s: %v", a.Name, u.ID, err)
 		}

@@ -7,11 +7,22 @@
 // supported, as is the suspension idiom
 // `if w.Begin() == core.Suspended { return core.Suspended }`, where the
 // Suspended branch never claimed a context.
+//
+// The check is interprocedural through window facts: each function that
+// opens or closes exactly one window for its caller is summarized
+// (protocol.SummarizeWindows) and the summary exported as an object fact, so
+// a helper that wraps Begin is checked at its call sites — including call
+// sites in other packages, via the driver's vetx fact files. A deliberate
+// opener/closer helper still triggers the intraprocedural imbalance
+// diagnostics in its own body; annotate it with
+// `//dopevet:ignore beginend <reason>` — the fact is computed and exported
+// regardless, so callers remain checked.
 package beginend
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 
 	"dope/internal/analysis/framework"
 	"dope/internal/analysis/protocol"
@@ -26,10 +37,34 @@ var Analyzer = &framework.Analyzer{
 }
 
 func run(pass *framework.Pass) error {
+	// Window summaries: which of this package's functions open or close a
+	// Begin/End window for their caller. Summaries of imported packages
+	// arrive as facts; this package's are computed here (seeing through
+	// imported helpers) and exported for downstream packages, so a helper
+	// that opens a window is checked at call sites across package
+	// boundaries.
+	imported := func(fn *types.Func) int {
+		var f protocol.WindowFact
+		if pass.ImportObjectFact(fn, &f) {
+			return f.Delta()
+		}
+		return 0
+	}
+	local := protocol.SummarizeWindows(pass.Files, pass.Pkg, pass.TypesInfo, imported)
+	for fn, d := range local {
+		pass.ExportObjectFact(fn, protocol.WindowFact{Opens: d > 0, Closes: d < 0})
+	}
+	delta := func(fn *types.Func) int {
+		if d, ok := local[fn]; ok {
+			return d
+		}
+		return imported(fn)
+	}
 	for _, fn := range protocol.Funcs(pass.Files) {
 		fn := fn
 		eng := &protocol.Engine{
-			Info: pass.TypesInfo,
+			Info:        pass.TypesInfo,
+			WindowDelta: delta,
 			Hooks: protocol.Hooks{
 				Begin: func(call *ast.CallExpr, before protocol.DepthMask) {
 					if before.MustHold() {
@@ -59,6 +94,24 @@ func run(pass *framework.Pass) error {
 					} else if depth.CanHold() {
 						pass.Reportf(pos,
 							"functor may return while holding a platform context (Worker.Begin without Worker.End on some path)")
+					}
+				},
+				OpenCall: func(call *ast.CallExpr, callee *types.Func, before protocol.DepthMask) {
+					if before.MustHold() {
+						pass.Reportf(call.Pos(),
+							"call to %s opens a Begin/End window while one is already open (double Begin claims a second context)", callee.Name())
+					} else if before.CanHold() {
+						pass.Reportf(call.Pos(),
+							"call to %s may open a Begin/End window inside an open one on some paths", callee.Name())
+					}
+				},
+				CloseCall: func(call *ast.CallExpr, callee *types.Func, before protocol.DepthMask) {
+					if fn.Deferred {
+						return // cleanup bodies balance a possibly-open section
+					}
+					if !before.CanHold() {
+						pass.Reportf(call.Pos(),
+							"call to %s closes a Begin/End window that is not open (End without Begin)", callee.Name())
 					}
 				},
 			},

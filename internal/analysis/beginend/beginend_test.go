@@ -8,5 +8,5 @@ import (
 )
 
 func TestBeginEnd(t *testing.T) {
-	analysistest.Run(t, "../testdata", beginend.Analyzer, "beginend")
+	analysistest.Run(t, "../testdata", beginend.Analyzer, "beginend", "beginendfacts")
 }

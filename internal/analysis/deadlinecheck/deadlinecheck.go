@@ -19,6 +19,11 @@
 // are not re-checked: the outer loop bounds how long the slot ignores the
 // signal. Genuinely bounded spin loops can suppress the diagnostic with
 // `//dopevet:ignore deadlinecheck <reason>`.
+//
+// Cooperation is recognized through helper functions via object facts: a
+// function whose body consults one of the signals is summarized as
+// cooperating, and a loop that calls it — from any package, via the
+// driver's vetx fact files — counts as watching the signal itself.
 package deadlinecheck
 
 import (
@@ -38,8 +43,18 @@ var Analyzer = &framework.Analyzer{
 	Run: run,
 }
 
+// coopFact marks a function whose body consults a cancellation signal the
+// watchdog raises; calling it from a loop makes the loop cooperative.
+type coopFact struct {
+	Cooperates bool `json:"cooperates,omitempty"`
+}
+
 func run(pass *framework.Pass) error {
 	decls := collectFuncDecls(pass)
+	coop := summarizeCooperation(pass, decls)
+	for fn := range coop {
+		pass.ExportObjectFact(fn, coopFact{Cooperates: true})
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			lit, ok := n.(*ast.CompositeLit)
@@ -49,11 +64,35 @@ func run(pass *framework.Pass) error {
 			if tv, ok := pass.TypesInfo.Types[lit]; !ok || !protocol.IsCoreType(tv.Type, "AltSpec") {
 				return true
 			}
-			checkAlt(pass, lit, decls)
+			checkAlt(pass, lit, decls, coop)
 			return true
 		})
 	}
 	return nil
+}
+
+// summarizeCooperation computes, to a fixpoint, which declared functions
+// consult a cooperation signal (directly or through another cooperating
+// function, same-package or imported).
+func summarizeCooperation(pass *framework.Pass, decls map[types.Object]*ast.FuncDecl) map[*types.Func]bool {
+	coop := make(map[*types.Func]bool)
+	for round := 0; round <= len(decls); round++ {
+		changed := false
+		for obj, fd := range decls {
+			fn, ok := obj.(*types.Func)
+			if !ok || coop[fn] {
+				continue
+			}
+			if cooperates(pass, fd.Body, coop) {
+				coop[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return coop
 }
 
 // deadlined is one stage of an alternative that sets a Deadline.
@@ -65,7 +104,7 @@ type deadlined struct {
 // checkAlt inspects one core.AltSpec literal: stages with a non-zero
 // Deadline are matched by index against the StageFns the Make callback
 // builds, and each resolvable functor is checked.
-func checkAlt(pass *framework.Pass, alt *ast.CompositeLit, decls map[types.Object]*ast.FuncDecl) {
+func checkAlt(pass *framework.Pass, alt *ast.CompositeLit, decls map[types.Object]*ast.FuncDecl, coop map[*types.Func]bool) {
 	stagesLit, _ := fieldValue(alt, "Stages").(*ast.CompositeLit)
 	if stagesLit == nil {
 		return
@@ -123,17 +162,17 @@ func checkAlt(pass *framework.Pass, alt *ast.CompositeLit, decls map[types.Objec
 		if body == nil {
 			continue
 		}
-		checkFunctor(pass, st, body)
+		checkFunctor(pass, st, body, coop)
 	}
 }
 
 // checkFunctor reports each outermost loop of a deadlined stage's functor
 // that never references a cooperation signal.
-func checkFunctor(pass *framework.Pass, st deadlined, body *ast.BlockStmt) {
+func checkFunctor(pass *framework.Pass, st deadlined, body *ast.BlockStmt, coop map[*types.Func]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n.(type) {
 		case *ast.ForStmt, *ast.RangeStmt:
-			if !cooperates(pass, n) {
+			if !cooperates(pass, n, coop) {
 				pass.Reportf(n.Pos(),
 					"stage %q sets Deadline but this loop never checks Worker.Done, Context().Done, or Suspending; a stalled invocation cannot stop cooperatively and leaks its goroutine when abandoned",
 					st.name)
@@ -146,12 +185,15 @@ func checkFunctor(pass *framework.Pass, st deadlined, body *ast.BlockStmt) {
 	})
 }
 
-// cooperates reports whether the loop (including its condition, post
-// statement, and any nested function literals, the DequeueWhile-predicate
-// idiom) references a cancellation signal the watchdog raises.
-func cooperates(pass *framework.Pass, loop ast.Node) bool {
+// cooperates reports whether the node (a loop, or a whole function body
+// during summarization — including conditions, post statements, and nested
+// function literals, the DequeueWhile-predicate idiom) references a
+// cancellation signal the watchdog raises, directly or through a call to a
+// function summarized as cooperating (coop for this package, object facts
+// for imported ones).
+func cooperates(pass *framework.Pass, node ast.Node, coop map[*types.Func]bool) bool {
 	found := false
-	ast.Inspect(loop, func(n ast.Node) bool {
+	ast.Inspect(node, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -165,6 +207,18 @@ func cooperates(pass *framework.Pass, loop ast.Node) bool {
 		}
 		if protocol.TaskContextMethod(pass.TypesInfo, call) == "Done" {
 			found = true
+		}
+		if !found {
+			if fn := protocol.CalleeFunc(pass.TypesInfo, call); fn != nil {
+				if coop[fn] {
+					found = true
+				} else {
+					var f coopFact
+					if pass.ImportObjectFact(fn, &f) && f.Cooperates {
+						found = true
+					}
+				}
+			}
 		}
 		return !found
 	})

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeadlineCheck(t *testing.T) {
-	analysistest.Run(t, "../testdata", deadlinecheck.Analyzer, "deadlinecheck")
+	analysistest.Run(t, "../testdata", deadlinecheck.Analyzer, "deadlinecheck", "deadlinecheckfacts")
 }

@@ -1,0 +1,184 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"strings"
+	"sync"
+)
+
+// A FactStore carries analyzer facts across package boundaries — the stdlib
+// stand-in for go/analysis object facts plus the unitchecker's vetx files.
+//
+// A fact is any JSON-serializable value an analyzer attaches to a
+// package-level function or method while analyzing the defining package;
+// when a later pass analyzes a package that calls that function, the fact is
+// recovered by object identity-independent key (package path, receiver,
+// name), so it survives both the standalone loader (one shared FileSet,
+// source-typechecked dependencies) and the unitchecker protocol (per-package
+// processes, export-data-typechecked dependencies).
+//
+// Facts are namespaced by analyzer name, mirroring go/analysis: one
+// analyzer cannot observe another's facts. The store is safe for concurrent
+// readers and writers so a future parallel driver does not corrupt it.
+type FactStore struct {
+	mu sync.RWMutex
+	m  map[string]json.RawMessage // "analyzer\x00objkey" -> payload
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]json.RawMessage)}
+}
+
+// ObjKey builds the cross-package identity of a package-level function or
+// method: "pkgpath.Name" for functions, "pkgpath.(Recv).Name" for methods.
+// Objects without a package (builtins) and nil objects key to "".
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	recv := ""
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				recv = "(" + named.Obj().Name() + ")."
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + recv + obj.Name()
+}
+
+func factKey(analyzer, objKey string) string { return analyzer + "\x00" + objKey }
+
+// export records fact for (analyzer, obj). Unkeyable objects are ignored.
+func (s *FactStore) export(analyzer string, obj types.Object, fact any) error {
+	key := ObjKey(obj)
+	if key == "" {
+		return nil
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("facts: encoding %T for %s: %w", fact, key, err)
+	}
+	s.mu.Lock()
+	s.m[factKey(analyzer, key)] = data
+	s.mu.Unlock()
+	return nil
+}
+
+// importInto decodes the fact for (analyzer, obj) into ptr and reports
+// whether one was present.
+func (s *FactStore) importInto(analyzer string, obj types.Object, ptr any) bool {
+	key := ObjKey(obj)
+	if key == "" {
+		return false
+	}
+	s.mu.RLock()
+	data, ok := s.m[factKey(analyzer, key)]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, ptr) == nil
+}
+
+// Len returns how many facts the store holds.
+func (s *FactStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Merge copies every fact of other into s, overwriting duplicates.
+func (s *FactStore) Merge(other *FactStore) {
+	if other == nil {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range other.m {
+		s.m[k] = v
+	}
+}
+
+// vetxFile is the serialized form of a store: the format written to the
+// unitchecker's VetxOutput and read back from dependencies' PackageVetx
+// files. Deterministically ordered so the go command's content-based build
+// cache is stable.
+type vetxFile struct {
+	Version int               `json:"version"`
+	Facts   map[string]string `json:"facts,omitempty"`
+}
+
+const vetxVersion = 1
+
+// EncodeVetx serializes the store.
+func (s *FactStore) EncodeVetx() ([]byte, error) {
+	s.mu.RLock()
+	f := vetxFile{Version: vetxVersion, Facts: make(map[string]string, len(s.m))}
+	for k, v := range s.m {
+		f.Facts[strings.ReplaceAll(k, "\x00", "|")] = string(v)
+	}
+	s.mu.RUnlock()
+	// encoding/json marshals map keys in sorted order, so the output is
+	// deterministic and the go command's content-based build cache is stable.
+	return json.Marshal(f)
+}
+
+// DecodeVetx merges a serialized store into s. Empty input is accepted and
+// contributes nothing: older drivers wrote zero-byte vetx files
+// unconditionally, and a fact-free dependency is not an error.
+func (s *FactStore) DecodeVetx(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var f vetxFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("facts: decoding vetx: %w", err)
+	}
+	if f.Version != vetxVersion {
+		return fmt.Errorf("facts: unsupported vetx version %d", f.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range f.Facts {
+		i := strings.Index(k, "|")
+		if i < 0 {
+			continue
+		}
+		s.m[factKey(k[:i], k[i+1:])] = json.RawMessage(v)
+	}
+	return nil
+}
+
+// ReadVetxFile loads one vetx file into a fresh store. A missing file is an
+// error; an empty file yields an empty store.
+func ReadVetxFile(path string) (*FactStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewFactStore()
+	if err := s.DecodeVetx(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteVetxFile serializes the store to path.
+func (s *FactStore) WriteVetxFile(path string) error {
+	data, err := s.EncodeVetx()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0666)
+}

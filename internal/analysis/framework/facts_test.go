@@ -1,0 +1,193 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+type windowish struct {
+	Opens  bool `json:"opens"`
+	Closes bool `json:"closes"`
+}
+
+func typecheck(t *testing.T, fset *token.FileSet, path, src string) (*types.Package, *types.Info, []*ast.File) {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, info, []*ast.File{f}
+}
+
+// TestFactExportImportAcrossPasses pins the core flow: a pass over the
+// defining package exports a fact on a function; a later pass (any package
+// referencing the same object key) imports it.
+func TestFactExportImportAcrossPasses(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, info, files := typecheck(t, fset, "example.com/helper", `package helper
+
+func Open() {}
+
+type T struct{}
+
+func (t *T) Close() {}
+`)
+	facts := NewFactStore()
+
+	exporter := &Analyzer{
+		Name: "demo",
+		Run: func(p *Pass) error {
+			p.ExportObjectFact(p.Pkg.Scope().Lookup("Open"), windowish{Opens: true})
+			tObj := p.Pkg.Scope().Lookup("T").Type()
+			m, _, _ := types.LookupFieldOrMethod(tObj, true, p.Pkg, "Close")
+			p.ExportObjectFact(m, windowish{Closes: true})
+			return nil
+		},
+	}
+	if err := ExportFacts(fset, files, pkg, info, []*Analyzer{exporter}, facts); err != nil {
+		t.Fatal(err)
+	}
+	if facts.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", facts.Len())
+	}
+
+	var got windowish
+	importer := &Analyzer{
+		Name: "demo",
+		Run: func(p *Pass) error {
+			if !p.ImportObjectFact(p.Pkg.Scope().Lookup("Open"), &got) {
+				t.Errorf("fact on Open not found")
+			}
+			var other windowish
+			tObj := p.Pkg.Scope().Lookup("T").Type()
+			m, _, _ := types.LookupFieldOrMethod(tObj, true, p.Pkg, "Close")
+			if !p.ImportObjectFact(m, &other) || !other.Closes {
+				t.Errorf("fact on (*T).Close not found or wrong: %+v", other)
+			}
+			return nil
+		},
+	}
+	if _, err := RunPackageFacts(fset, files, pkg, info, []*Analyzer{importer}, facts); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Opens {
+		t.Errorf("imported fact = %+v, want Opens=true", got)
+	}
+
+	// Namespacing: a different analyzer name must not see demo's facts.
+	stranger := &Analyzer{
+		Name: "other",
+		Run: func(p *Pass) error {
+			var w windowish
+			if p.ImportObjectFact(p.Pkg.Scope().Lookup("Open"), &w) {
+				t.Errorf("analyzer %q observed a fact exported by %q", "other", "demo")
+			}
+			return nil
+		},
+	}
+	if _, err := RunPackageFacts(fset, files, pkg, info, []*Analyzer{stranger}, facts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVetxRoundTrip pins the on-disk format: encode → decode recovers every
+// fact, empty input decodes to nothing, and encoding is deterministic.
+func TestVetxRoundTrip(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, _, _ := typecheck(t, fset, "example.com/helper", `package helper
+
+func Open()  {}
+func Close() {}
+`)
+	open := pkg.Scope().Lookup("Open")
+	closeFn := pkg.Scope().Lookup("Close")
+
+	s := NewFactStore()
+	if err := s.export("beginend", open, windowish{Opens: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.export("beginend", closeFn, windowish{Closes: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := s.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := s.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("EncodeVetx is not deterministic")
+	}
+
+	path := filepath.Join(t.TempDir(), "helper.vetx")
+	if err := s.WriteVetxFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVetxFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-tripped Len = %d, want 2", back.Len())
+	}
+	var w windowish
+	if !back.importInto("beginend", open, &w) || !w.Opens {
+		t.Errorf("fact on Open lost in round trip: %+v", w)
+	}
+
+	// Legacy empty vetx files (the old driver wrote zero bytes) decode to an
+	// empty store, not an error.
+	empty := NewFactStore()
+	if err := empty.DecodeVetx(nil); err != nil {
+		t.Fatalf("empty vetx: %v", err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty vetx produced %d facts", empty.Len())
+	}
+}
+
+// TestObjKey pins the cross-package identity format.
+func TestObjKey(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, _, _ := typecheck(t, fset, "example.com/helper", `package helper
+
+func Open() {}
+
+type T struct{}
+
+func (t *T) Close() {}
+func (t T) Peek()   {}
+`)
+	if got, want := ObjKey(pkg.Scope().Lookup("Open")), "example.com/helper.Open"; got != want {
+		t.Errorf("ObjKey(Open) = %q, want %q", got, want)
+	}
+	tType := pkg.Scope().Lookup("T").Type()
+	m, _, _ := types.LookupFieldOrMethod(tType, true, pkg, "Close")
+	if got, want := ObjKey(m), "example.com/helper.(T).Close"; got != want {
+		t.Errorf("ObjKey((*T).Close) = %q, want %q", got, want)
+	}
+	m, _, _ = types.LookupFieldOrMethod(tType, true, pkg, "Peek")
+	if got, want := ObjKey(m), "example.com/helper.(T).Peek"; got != want {
+		t.Errorf("ObjKey((T).Peek) = %q, want %q", got, want)
+	}
+	if ObjKey(nil) != "" {
+		t.Errorf("ObjKey(nil) should be empty")
+	}
+}

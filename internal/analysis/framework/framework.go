@@ -29,7 +29,8 @@ type Analyzer struct {
 }
 
 // Pass is the interface between one Analyzer and one package: the syntax,
-// the type information, and the Report sink.
+// the type information, the Report sink, and the fact store shared across
+// packages.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -39,6 +40,34 @@ type Pass struct {
 
 	// Report delivers one diagnostic; installed by the driver.
 	Report func(Diagnostic)
+
+	// facts is the cross-package store, namespaced per analyzer; may be nil
+	// when the driver runs without facts.
+	facts *FactStore
+}
+
+// ExportObjectFact attaches fact (any JSON-serializable value) to obj under
+// this analyzer's namespace, making it visible to later passes over
+// packages that import obj's package. A nil store or unkeyable object is a
+// no-op.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if p.facts == nil {
+		return
+	}
+	if err := p.facts.export(p.Analyzer.Name, obj, fact); err != nil {
+		// A non-serializable fact is an analyzer bug; surface it loudly at
+		// the first diagnostic position available.
+		p.Report(Diagnostic{Pos: token.NoPos, Message: err.Error()})
+	}
+}
+
+// ImportObjectFact decodes the fact attached to obj by this analyzer in an
+// earlier pass into ptr and reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr any) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.importInto(p.Analyzer.Name, obj, ptr)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -69,6 +98,14 @@ func (f Finding) String() string {
 // honored, and duplicate findings at the same position are dropped. Analyzer
 // run errors are returned as an error after all analyzers executed.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPackageFacts(fset, files, pkg, info, analyzers, nil)
+}
+
+// RunPackageFacts is RunPackage with a cross-package fact store: analyzers
+// import facts that earlier passes (over this package's dependencies)
+// exported into facts, and export their own for packages analyzed later. A
+// nil store degrades to intra-package analysis.
+func RunPackageFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
 	sup := collectSuppressions(fset, files)
 	var findings []Finding
 	seen := make(map[string]bool)
@@ -81,6 +118,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     facts,
 		}
 		pass.Report = func(d Diagnostic) {
 			pos := fset.Position(d.Pos)
@@ -112,4 +150,27 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 		return findings[i].Analyzer < findings[j].Analyzer
 	})
 	return findings, firstErr
+}
+
+// ExportFacts runs every analyzer over the package purely for its fact
+// exports: diagnostics are discarded. Drivers use this on dependency
+// packages so that facts about their functions are available when the
+// package under analysis is checked.
+func ExportFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) error {
+	var firstErr error
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			facts:     facts,
+			Report:    func(Diagnostic) {},
+		}
+		if err := a.Run(pass); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return firstErr
 }

@@ -3,6 +3,7 @@ package framework
 import (
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"strings"
 )
 
@@ -22,8 +23,15 @@ const (
 	lintIgnorePrefix = "lint:ignore"
 )
 
-// suppressions maps file name → line → analyzer names suppressed there.
+// suppressions maps full (cleaned) file path → line → analyzer names
+// suppressed there. Keying by the full path, not the base name, keeps two
+// same-named files in different directories from sharing suppressions.
 type suppressions map[string]map[int][]string
+
+// supKey normalizes a position's file path for use as a suppression key, so
+// a comment and a diagnostic in the same file always collide even if the
+// driver registered the file with a differently-spelled path.
+func supKey(filename string) string { return filepath.Clean(filename) }
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 	sup := make(suppressions)
@@ -46,10 +54,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				m := sup[pos.Filename]
+				key := supKey(pos.Filename)
+				m := sup[key]
 				if m == nil {
 					m = make(map[int][]string)
-					sup[pos.Filename] = m
+					sup[key] = m
 				}
 				for _, name := range strings.Split(fields[0], ",") {
 					if name = strings.TrimSpace(name); name != "" {
@@ -62,10 +71,30 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 	return sup
 }
 
+// SuppressionIndex is a queryable view of one package's ignore comments,
+// for analyzers whose cross-package summaries must honor blessed sites: a
+// blocking call suppressed where it happens must not summarize its
+// enclosing helper as blocking, or the suppression would merely move the
+// diagnostic to every caller instead of retiring it.
+type SuppressionIndex struct {
+	fset *token.FileSet
+	sup  suppressions
+}
+
+// NewSuppressionIndex collects the ignore comments of files.
+func NewSuppressionIndex(fset *token.FileSet, files []*ast.File) *SuppressionIndex {
+	return &SuppressionIndex{fset, collectSuppressions(fset, files)}
+}
+
+// Suppressed reports whether the named analyzer is ignored at pos.
+func (ix *SuppressionIndex) Suppressed(analyzer string, pos token.Pos) bool {
+	return ix.sup.suppressed(analyzer, ix.fset.Position(pos))
+}
+
 // suppressed reports whether analyzer name is ignored at pos: a matching
 // ignore comment sits on the same line or the line directly above.
 func (s suppressions) suppressed(name string, pos token.Position) bool {
-	m := s[pos.Filename]
+	m := s[supKey(pos.Filename)]
 	if m == nil {
 		return false
 	}

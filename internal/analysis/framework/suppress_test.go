@@ -1,0 +1,86 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestSuppressionKeyedByFullPath pins the suppression key: two files with
+// the same base name in different directories must not share suppressions.
+// An //dopevet:ignore in a/conflict.go must silence a diagnostic at that
+// line in a/conflict.go and leave the same line in b/conflict.go flagged.
+func TestSuppressionKeyedByFullPath(t *testing.T) {
+	const srcA = `package p
+
+//dopevet:ignore demo deliberate in this file only
+var A = 1
+`
+	const srcB = `package p
+
+var B = 2
+`
+	fset := token.NewFileSet()
+	fa, err := parser.ParseFile(fset, "/work/a/conflict.go", srcA, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := parser.ParseFile(fset, "/work/b/conflict.go", srcB, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{fa, fb})
+
+	posA := token.Position{Filename: "/work/a/conflict.go", Line: 4}
+	posB := token.Position{Filename: "/work/b/conflict.go", Line: 4}
+	if !sup.suppressed("demo", posA) {
+		t.Errorf("diagnostic in a/conflict.go below its ignore comment should be suppressed")
+	}
+	if sup.suppressed("demo", posB) {
+		t.Errorf("suppression in a/conflict.go leaked to b/conflict.go (same base name)")
+	}
+}
+
+// TestSuppressionPathNormalized pins that a differently-spelled path for the
+// same file (./a/conflict.go vs a/conflict.go) still matches.
+func TestSuppressionPathNormalized(t *testing.T) {
+	const src = `package p
+
+//dopevet:ignore demo reason
+var A = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "./a/conflict.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{f})
+	if !sup.suppressed("demo", token.Position{Filename: "a/conflict.go", Line: 4}) {
+		t.Errorf("cleaned path should match the uncleaned registration")
+	}
+}
+
+// TestSuppressionSameLineAndAbove pins the two accepted comment placements.
+func TestSuppressionSameLineAndAbove(t *testing.T) {
+	const src = `package p
+
+var A = 1 //dopevet:ignore demo same line
+var B = 2
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{f})
+	if !sup.suppressed("demo", token.Position{Filename: "p.go", Line: 3}) {
+		t.Errorf("same-line ignore should suppress")
+	}
+	if !sup.suppressed("demo", token.Position{Filename: "p.go", Line: 4}) {
+		t.Errorf("line-above ignore should suppress the next line")
+	}
+	if sup.suppressed("other", token.Position{Filename: "p.go", Line: 3}) {
+		t.Errorf("ignore list is per-analyzer; unrelated name must not be suppressed")
+	}
+}

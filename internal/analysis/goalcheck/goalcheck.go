@@ -1,0 +1,327 @@
+// Package goalcheck flags goal/mechanism misconfiguration at dope.Create,
+// DoPE.SetGoal, and dope.CustomGoal sites — the static half of the paper's
+// goal/mechanism contract (§4): a mechanism only reads the features its
+// goal provisions.
+//
+// Three rules, all on statically-decidable expressions only (a mechanism
+// held in a variable or returned by an application helper is never
+// guessed at):
+//
+//   - A power-steered mechanism (TPC, EDP) installed under a goal that
+//     provisions no power budget — a MaxThroughput/MinResponseTime-family,
+//     Static, or Custom goal — steers on a feature its goal never set up:
+//     TPC controls toward a zero watt budget and pins the DoP to the floor,
+//     EDP degenerates to throughput maximization. Construct the goal with
+//     MaxThroughputUnderPower or MinEnergyDelay instead.
+//
+//   - The reverse: MaxThroughputUnderPower sets a watt budget, but a
+//     WithMechanism override replaces its TPC controller with a mechanism
+//     that never reads power (TBF, WQ-Linear, ...) — the budget is silently
+//     ignored.
+//
+//   - WithControlInterval shorter than the monitor's EWMA window: the
+//     executive consults the mechanism before the rate/time features have
+//     absorbed one window of samples, so the mechanism steers on noise.
+//     The window is estimated as span(α)·100µs, where span(α) = (2−α)/α is
+//     the EWMA's effective sample count (7 at the default α = 0.25 → a
+//     700µs floor) and 100µs is the platform's shortest feature-refresh
+//     period (the stall watchdog's clamp floor). α is taken from a constant
+//     WithMonitorAlpha in the same option list when present.
+package goalcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"time"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "goalcheck",
+	Doc: "check goal/mechanism pairings at Create/SetGoal/CustomGoal sites: " +
+		"power-steered mechanisms (TPC, EDP) need a power-provisioning goal, " +
+		"power budgets need a power-reading mechanism, and the control " +
+		"interval must not undercut the monitor EWMA window",
+	Run: run,
+}
+
+// dopePath is the import path of the public API package whose goal
+// constructors and option vars the checks anchor on.
+const dopePath = "dope"
+
+// budgetlessGoals are the goal constructors that provision no power budget.
+var budgetlessGoals = map[string]bool{
+	"MinResponseTime":     true,
+	"MinResponseTimeWQTH": true,
+	"MaxThroughput":       true,
+	"StaticGoal":          true,
+	"CustomGoal":          true,
+}
+
+// powerMechs maps mechanism type names (and Mechanisms catalog field names)
+// that read the SystemPower feature.
+var powerMechs = map[string]bool{"TPC": true, "EDP": true}
+
+// plainMechs are mechanisms that never read power; overriding a
+// power-budgeted goal with one of these discards the budget.
+var plainMechs = map[string]bool{
+	"Proportional":     true,
+	"WQTH":             true,
+	"WQLinear":         true,
+	"TB":               true,
+	"TBF":              true,
+	"FDP":              true,
+	"SEDA":             true,
+	"LoadProp":         true,
+	"LoadProportional": true,
+}
+
+// defaultAlpha mirrors the monitor registry default (core.WithMonitorAlpha
+// doc); span(0.25) = 7 samples.
+const defaultAlpha = 0.25
+
+// featurePeriod is the fastest feature-refresh period the platform
+// sustains: the stall watchdog's clamp floor (core/stall.go).
+const featurePeriod = 100 * time.Microsecond
+
+func run(pass *framework.Pass) error {
+	// Interval options that appear inside a Create call are checked there,
+	// against the WithMonitorAlpha sited alongside them; sited marks them so
+	// the generic walk below does not re-check them at the default alpha.
+	sited := make(map[*ast.CallExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch dopeFuncName(pass.TypesInfo, call) {
+			case "Create", "New":
+				checkCreate(pass, call, sited)
+			case "CustomGoal":
+				if len(call.Args) == 3 {
+					if name, power := mechName(pass.TypesInfo, call.Args[2]); power {
+						reportPowerUnderBudgetless(pass, call.Args[2].Pos(), name, "CustomGoal")
+					}
+				}
+			case "WithControlInterval":
+				if !sited[call] {
+					checkInterval(pass, call, defaultAlpha)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCreate inspects one dope.Create(root, goal, opts...) or
+// core.New(root, opts...) site: the goal constructor (Create only), any
+// WithMechanism override among the options, and any WithControlInterval
+// against the WithMonitorAlpha sited in the same option list.
+func checkCreate(pass *framework.Pass, call *ast.CallExpr, sited map[*ast.CallExpr]bool) {
+	goalCtor := ""
+	opts := call.Args
+	if len(opts) > 0 {
+		opts = opts[1:] // skip the root NestSpec
+	}
+	if dopeFuncName(pass.TypesInfo, call) == "Create" {
+		if len(call.Args) < 2 {
+			return
+		}
+		goalCtor = goalCtorName(pass, call.Args[1])
+		opts = call.Args[2:]
+	}
+
+	alpha := defaultAlpha
+	for _, opt := range opts {
+		oc, ok := ast.Unparen(opt).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if dopeFuncName(pass.TypesInfo, oc) == "WithMonitorAlpha" && len(oc.Args) == 1 {
+			if v, ok := floatConst(pass.TypesInfo, oc.Args[0]); ok && v > 0 && v <= 1 {
+				alpha = v
+			}
+		}
+	}
+	for _, opt := range opts {
+		oc, ok := ast.Unparen(opt).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch dopeFuncName(pass.TypesInfo, oc) {
+		case "WithMechanism":
+			if len(oc.Args) != 1 {
+				continue
+			}
+			name, power := mechName(pass.TypesInfo, oc.Args[0])
+			if name == "" {
+				continue
+			}
+			if power && budgetlessGoals[goalCtor] {
+				reportPowerUnderBudgetless(pass, oc.Pos(), name, goalCtor)
+			}
+			if plainMechs[name] && goalCtor == "MaxThroughputUnderPower" {
+				pass.Reportf(oc.Pos(),
+					"goal MaxThroughputUnderPower sets a power budget, but WithMechanism overrides its controller with %s, which never reads power: the budget is silently ignored", name)
+			}
+		case "WithControlInterval":
+			sited[oc] = true
+			checkInterval(pass, oc, alpha)
+		}
+	}
+}
+
+// goalCtorName resolves which dope goal constructor built the expression,
+// or "" when it is not a recognizable constructor call.
+func goalCtorName(pass *framework.Pass, e ast.Expr) string {
+	gc, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	ctor := dopeFuncName(pass.TypesInfo, gc)
+	if budgetlessGoals[ctor] || ctor == "MaxThroughputUnderPower" || ctor == "MinEnergyDelay" {
+		return ctor
+	}
+	return ""
+}
+
+func reportPowerUnderBudgetless(pass *framework.Pass, pos token.Pos, mech, goal string) {
+	pass.Reportf(pos,
+		"mechanism %s steers on the SystemPower feature, but goal %s provisions no power budget; construct the goal with MaxThroughputUnderPower (TPC) or MinEnergyDelay (EDP) instead", mech, goal)
+}
+
+// checkInterval flags a constant WithControlInterval shorter than the EWMA
+// window span(alpha)·featurePeriod. Non-constant and non-positive intervals
+// (the runtime ignores d <= 0) are skipped.
+func checkInterval(pass *framework.Pass, call *ast.CallExpr, alpha float64) {
+	if len(call.Args) != 1 {
+		return
+	}
+	d, ok := durationConst(pass.TypesInfo, call.Args[0])
+	if !ok || d <= 0 {
+		return
+	}
+	span := (2 - alpha) / alpha
+	window := time.Duration(span * float64(featurePeriod))
+	if d < window {
+		pass.Reportf(call.Pos(),
+			"control interval %v is shorter than the monitor EWMA window (~%v at α=%.3g): the mechanism is consulted before the features absorb one window of samples and steers on noise", d, window, alpha)
+	}
+}
+
+// dopeFuncName resolves a call to a function, method, or option variable of
+// the dope package (or its core implementation package) and returns its
+// name. The With* options are package-level vars aliasing core functions,
+// so both the var and the underlying function match.
+func dopeFuncName(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if p := obj.Pkg().Path(); p != dopePath && p != protocol.CorePath {
+		return ""
+	}
+	switch obj.(type) {
+	case *types.Func, *types.Var:
+		return obj.Name()
+	}
+	return ""
+}
+
+// mechName statically classifies a mechanism expression: a composite
+// literal (&mechanism.TPC{...}) or a Mechanisms catalog call
+// (dope.Mechanisms.TPC(n, w)). Returns the mechanism name and whether it is
+// power-steered. Unknown shapes (variables, helper results) return "".
+func mechName(info *types.Info, e ast.Expr) (name string, power bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil ||
+			named.Obj().Pkg().Path() != "dope/internal/mechanism" {
+			return "", false
+		}
+		n := named.Obj().Name()
+		return n, powerMechs[n]
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		// The catalog is the struct var dope.Mechanisms; its fields are
+		// constructors.
+		field, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !field.IsField() {
+			return "", false
+		}
+		if !isMechanismsVar(info, sel.X) {
+			return "", false
+		}
+		n := sel.Sel.Name
+		return n, powerMechs[n]
+	}
+	return "", false
+}
+
+// isMechanismsVar reports whether e denotes the dope.Mechanisms catalog var.
+func isMechanismsVar(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	return ok && v.Name() == "Mechanisms" && v.Pkg() != nil && v.Pkg().Path() == dopePath
+}
+
+// durationConst evaluates a constant time.Duration expression.
+func durationConst(info *types.Info, e ast.Expr) (time.Duration, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(v), true
+}
+
+// floatConst evaluates a constant float expression.
+func floatConst(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Float64Val(tv.Value)
+	return v, ok
+}

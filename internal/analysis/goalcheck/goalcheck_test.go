@@ -1,0 +1,12 @@
+package goalcheck_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/goalcheck"
+)
+
+func TestGoalCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", goalcheck.Analyzer, "goalcheck")
+}

@@ -48,6 +48,14 @@ type Loader struct {
 	std     types.Importer
 	cache   map[string]*types.Package // import path → lib-only package
 	loading map[string]bool
+
+	// imported retains the syntax and type info of every module/fixture
+	// package loaded through Import, in completion order (dependencies
+	// before dependents). Fact-aware drivers replay analyzers over this
+	// closure so cross-package facts exist before the unit under analysis
+	// is checked. Standard-library imports are not retained.
+	imported      []*Package
+	importedByPth map[string]*Package
 }
 
 // NewLoader builds a loader rooted at the module containing dir (dir may be
@@ -55,9 +63,10 @@ type Loader struct {
 // SrcDirs and the standard library.
 func NewLoader(dir string) (*Loader, error) {
 	l := &Loader{
-		Fset:    token.NewFileSet(),
-		cache:   make(map[string]*types.Package),
-		loading: make(map[string]bool),
+		Fset:          token.NewFileSet(),
+		cache:         make(map[string]*types.Package),
+		loading:       make(map[string]bool),
+		importedByPth: make(map[string]*Package),
 	}
 	l.std = importer.ForCompiler(l.Fset, "source", nil)
 	if dir == "" {
@@ -119,14 +128,30 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkg, _, err := l.check(path, files)
+		pkg, info, err := l.check(path, files)
 		if err != nil {
 			return nil, err
 		}
 		l.cache[path] = pkg
+		unit := &Package{
+			ImportPath: path, ID: path, Dir: dir,
+			Files: files, Types: pkg, Info: info,
+		}
+		l.imported = append(l.imported, unit)
+		l.importedByPth[path] = unit
 		return pkg, nil
 	}
 	return l.std.Import(path)
+}
+
+// ImportClosure returns every module/fixture package loaded through Import
+// so far, dependencies before dependents (Import for a package completes
+// only after its own imports have completed). Standard-library packages are
+// excluded.
+func (l *Loader) ImportClosure() []*Package {
+	out := make([]*Package, len(l.imported))
+	copy(out, l.imported)
+	return out
 }
 
 // dirFor resolves an import path against SrcDirs and the module.

@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WindowFact is the per-function Begin/End window summary analyzers export
+// across package boundaries: whether calling the function opens exactly one
+// window for the caller, or closes exactly one. Functions that are balanced,
+// conditional, or unanalyzable (goto) get no fact.
+type WindowFact struct {
+	Opens  bool `json:"opens,omitempty"`
+	Closes bool `json:"closes,omitempty"`
+}
+
+// Delta converts the fact to the engine's WindowDelta convention.
+func (f WindowFact) Delta() int {
+	switch {
+	case f.Opens:
+		return +1
+	case f.Closes:
+		return -1
+	}
+	return 0
+}
+
+// SummarizeWindows computes the window summary of every function declared in
+// the package: +1 if every exit from depth 0 leaves the caller at depth 1
+// (the function opens a window), -1 if the function is a no-op from depth 0
+// and every exit from depth 1 lands at depth 0 (it closes the caller's
+// window). imported supplies summaries of functions from other packages
+// (from analyzer facts); may be nil. The computation runs to a fixpoint so
+// chains of helpers (open calls openRaw calls Begin) summarize correctly.
+//
+// The core package itself is skipped: Worker.Begin/End are the primitives,
+// recognized structurally by the engine.
+func SummarizeWindows(files []*ast.File, pkg *types.Package, info *types.Info, imported func(*types.Func) int) map[*types.Func]int {
+	if pkg == nil || pkg.Path() == CorePath {
+		return nil
+	}
+	type cand struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var cands []cand
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				cands = append(cands, cand{fn, fd.Body})
+			}
+		}
+	}
+	local := make(map[*types.Func]int)
+	delta := func(fn *types.Func) int {
+		if d, ok := local[fn]; ok {
+			return d
+		}
+		if imported != nil {
+			return imported(fn)
+		}
+		return 0
+	}
+	// Fixpoint: each round may propagate a summary one call edge further;
+	// the candidate count bounds the longest helper chain.
+	for round := 0; round <= len(cands); round++ {
+		changed := false
+		for _, c := range cands {
+			d := summarizeOne(c.body, info, delta)
+			if local[c.fn] != d {
+				local[c.fn] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for fn, d := range local {
+		if d == 0 {
+			delete(local, fn)
+		}
+	}
+	return local
+}
+
+// summarizeOne classifies one body by running the abstract interpreter from
+// depth 0 and depth 1 and inspecting the union of exit depth-sets.
+func summarizeOne(body *ast.BlockStmt, info *types.Info, delta func(*types.Func) int) int {
+	exitUnion := func(start DepthMask) DepthMask {
+		var u DepthMask
+		e := &Engine{
+			Info:        info,
+			WindowDelta: delta,
+			Hooks: Hooks{
+				Exit: func(_ token.Pos, m DepthMask) { u |= m },
+			},
+		}
+		e.RunFrom(Func{Body: body}, start)
+		return u
+	}
+	switch exitUnion(D0) {
+	case D1:
+		return +1
+	case D0:
+		// Neutral from depth 0 (End at depth 0 is a runtime no-op); a closer
+		// must take depth 1 to exactly depth 0 on every exit.
+		if exitUnion(D1) == D0 {
+			return -1
+		}
+	}
+	return 0
+}

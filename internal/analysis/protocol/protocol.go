@@ -69,6 +69,24 @@ func IsSuspended(info *types.Info, e ast.Expr) bool {
 	return tv.Value.ExactString() == "1"
 }
 
+// CalleeFunc resolves the function or method object a call statically
+// dispatches to, or nil for indirect calls (function values, interface
+// methods resolve to the interface's method object, which is fine for fact
+// lookup: facts are attached to concrete declarations).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
 // isCoreNamed reports whether t (or its pointee) is the named type
 // CorePath.name.
 func isCoreNamed(t types.Type, name string) bool {
@@ -86,6 +104,10 @@ func isCoreNamed(t types.Type, name string) bool {
 // Func is one function body analyzed as an independent unit.
 type Func struct {
 	Body *ast.BlockStmt
+	// Decl is the enclosing declaration when the unit is a named function,
+	// nil for function literals. Lets analyzers look up per-function
+	// summaries (window facts) for the body under analysis.
+	Decl *ast.FuncDecl
 	// Deferred marks a function literal that is the immediate callee of a
 	// defer statement: a cleanup body, exempt from End-without-Begin and
 	// status-check requirements.
@@ -107,7 +129,7 @@ func Funcs(files []*ast.File) []Func {
 				}
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					fns = append(fns, Func{Body: n.Body})
+					fns = append(fns, Func{Body: n.Body, Decl: n})
 				}
 			case *ast.FuncLit:
 				fns = append(fns, Func{Body: n.Body, Deferred: deferred[n]})
@@ -183,12 +205,38 @@ type Hooks struct {
 	// statement with the depth-set in effect while it executes. Used to
 	// find work performed inside a Begin/End window.
 	Stmt func(n ast.Node, depth DepthMask)
+	// OpenCall fires at a call to a function whose WindowDelta is +1 (a
+	// helper that opens a Begin/End window for its caller), with the
+	// depth-set before it.
+	OpenCall func(call *ast.CallExpr, fn *types.Func, before DepthMask)
+	// CloseCall fires at a call to a function whose WindowDelta is -1 (a
+	// helper that closes the caller's window), with the depth-set before it.
+	CloseCall func(call *ast.CallExpr, fn *types.Func, before DepthMask)
 }
 
 // Engine interprets one function body over the DepthMask lattice.
 type Engine struct {
 	Info  *types.Info
 	Hooks Hooks
+	// WindowDelta, when set, reports the net Begin/End window effect a call
+	// to fn has on the caller: +1 opens one window, -1 closes one, 0 is
+	// balanced or unknown. Summaries come from this package's fixpoint
+	// (SummarizeWindows) and imported analyzer facts; they let the
+	// interpreter see through helper functions, including ones in other
+	// packages.
+	WindowDelta func(fn *types.Func) int
+}
+
+// callDelta resolves the window summary of a call's static callee.
+func (w *walker) callDelta(call *ast.CallExpr) (int, *types.Func) {
+	if w.WindowDelta == nil {
+		return 0, nil
+	}
+	fn := CalleeFunc(w.Info, call)
+	if fn == nil {
+		return 0, nil
+	}
+	return w.WindowDelta(fn), fn
 }
 
 // state is the abstract state threaded through the walk.
@@ -219,7 +267,12 @@ type loopCtx struct {
 }
 
 // Run interprets fn's body from depth 0.
-func (e *Engine) Run(fn Func) {
+func (e *Engine) Run(fn Func) { e.RunFrom(fn, D0) }
+
+// RunFrom interprets fn's body from an arbitrary entry depth-set — D1 to ask
+// "what does this function do to a window its caller already holds", used by
+// the window-summary fixpoint.
+func (e *Engine) RunFrom(fn Func, start DepthMask) {
 	w := &walker{Engine: e}
 	// Pre-scan for goto: the engine does not model it, so exit reporting
 	// is disabled rather than wrong.
@@ -232,7 +285,7 @@ func (e *Engine) Run(fn Func) {
 		}
 		return true
 	})
-	st := w.block(fn.Body, state{mask: D0})
+	st := w.block(fn.Body, state{mask: start})
 	if st.mask != 0 && !w.hasGoto {
 		w.exit(fn.Body.Rbrace, st)
 	}
@@ -394,18 +447,33 @@ func (w *walker) ifStmt(s *ast.IfStmt, st state) state {
 	}
 }
 
-// condMasks recognizes `<worker Begin/End call> ==/!= Suspended` (either
-// operand order) and returns the branch-refined masks.
+// condMasks recognizes `<window call> ==/!= Suspended` (either operand
+// order) and returns the branch-refined masks. A window call is a direct
+// Worker.Begin/End, or a call to a helper whose WindowDelta summary says it
+// opens or closes a window for the caller — so `if open(w) == Suspended`
+// refines the same way `if w.Begin() == Suspended` does, even when open
+// lives in another package.
 func (w *walker) condMasks(cond ast.Expr, m DepthMask) (thenMask, elseMask DepthMask, ok bool) {
 	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
 		return 0, 0, false
 	}
-	call, susp := ast.Unparen(bin.X), bin.Y
-	c, isCall := call.(*ast.CallExpr)
-	if !isCall || WorkerMethod(w.Info, c) == "" {
-		c2, isCall2 := ast.Unparen(bin.Y).(*ast.CallExpr)
-		if !isCall2 || WorkerMethod(w.Info, c2) == "" {
+	isWindowCall := func(e ast.Expr) (*ast.CallExpr, bool) {
+		c, isCall := ast.Unparen(e).(*ast.CallExpr)
+		if !isCall {
+			return nil, false
+		}
+		if WorkerMethod(w.Info, c) != "" {
+			return c, true
+		}
+		delta, _ := w.callDelta(c)
+		return c, delta != 0
+	}
+	c, okX := isWindowCall(bin.X)
+	susp := bin.Y
+	if !okX {
+		c2, okY := isWindowCall(bin.Y)
+		if !okY {
 			return 0, 0, false
 		}
 		c, susp = c2, bin.X
@@ -413,21 +481,40 @@ func (w *walker) condMasks(cond ast.Expr, m DepthMask) (thenMask, elseMask Depth
 	if !IsSuspended(w.Info, susp) {
 		return 0, 0, false
 	}
-	method := WorkerMethod(w.Info, c)
-	switch method {
+	opens, closes := false, false
+	switch WorkerMethod(w.Info, c) {
 	case "Begin":
 		if w.Hooks.Begin != nil {
 			w.Hooks.Begin(c, m)
 		}
+		opens = true
+	case "End":
+		if w.Hooks.End != nil {
+			w.Hooks.End(c, m)
+		}
+		closes = true
+	case "":
+		switch delta, fn := w.callDelta(c); delta {
+		case +1:
+			if w.Hooks.OpenCall != nil {
+				w.Hooks.OpenCall(c, fn, m)
+			}
+			opens = true
+		case -1:
+			if w.Hooks.CloseCall != nil {
+				w.Hooks.CloseCall(c, fn, m)
+			}
+			closes = true
+		}
+	}
+	switch {
+	case opens:
 		suspMask, execMask := m, m.inc()
 		if bin.Op == token.EQL {
 			return suspMask, execMask, true
 		}
 		return execMask, suspMask, true
-	case "End":
-		if w.Hooks.End != nil {
-			w.Hooks.End(c, m)
-		}
+	case closes:
 		after := m.dec()
 		return after, after, true
 	default:
@@ -561,6 +648,19 @@ func (w *walker) expr(e ast.Expr, m DepthMask) DepthMask {
 				w.Hooks.End(call, m)
 			}
 			m = m.dec()
+		default:
+			switch delta, fn := w.callDelta(call); delta {
+			case +1:
+				if w.Hooks.OpenCall != nil {
+					w.Hooks.OpenCall(call, fn, m)
+				}
+				m = m.inc()
+			case -1:
+				if w.Hooks.CloseCall != nil {
+					w.Hooks.CloseCall(call, fn, m)
+				}
+				m = m.dec()
+			}
 		}
 		return true
 	})
@@ -601,11 +701,11 @@ func (w *walker) exprsIn(s ast.Stmt, m DepthMask) DepthMask {
 	return m
 }
 
-// deferredEnds counts Worker.End calls a defer statement will run at exit:
-// `defer w.End()` directly, or End calls inside a deferred function
-// literal.
+// deferredEnds counts window closes a defer statement will run at exit:
+// `defer w.End()` or `defer closeHelper(w)` directly, or such calls inside
+// a deferred function literal.
 func (w *walker) deferredEnds(s *ast.DeferStmt) int {
-	if WorkerMethod(w.Info, s.Call) == "End" {
+	if w.closesWindow(s.Call) {
 		return 1
 	}
 	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
@@ -617,12 +717,22 @@ func (w *walker) deferredEnds(s *ast.DeferStmt) int {
 		if _, ok := node.(*ast.FuncLit); ok {
 			return false
 		}
-		if call, ok := node.(*ast.CallExpr); ok && WorkerMethod(w.Info, call) == "End" {
+		if call, ok := node.(*ast.CallExpr); ok && w.closesWindow(call) {
 			n++
 		}
 		return true
 	})
 	return n
+}
+
+// closesWindow reports whether call is Worker.End or a helper summarized as
+// closing one window.
+func (w *walker) closesWindow(call *ast.CallExpr) bool {
+	if WorkerMethod(w.Info, call) == "End" {
+		return true
+	}
+	delta, _ := w.callDelta(call)
+	return delta == -1
 }
 
 func (w *walker) findBreakable(label *ast.Ident) *loopCtx {

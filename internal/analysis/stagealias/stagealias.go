@@ -1,0 +1,461 @@
+// Package stagealias flags state that leaks between sibling stage functors
+// of one nest alternative. The drain protocol's no-migration guarantee
+// (DESIGN.md) rests on each in-flight item being owned by exactly one stage
+// at a time, with ownership handed off through the inter-stage queues. A
+// functor that mutates a variable its sibling also captures, or that sends
+// the same captured reference down the queue on every iteration, aliases
+// state across stages: after a reconfiguration drain the "drained" item is
+// still reachable — and mutable — from a stage that was supposed to have
+// given it up.
+//
+// Two rules, both scoped to the functor literals of one alternative (the
+// FuncLits installed as the Fn of core.StageFns or dope.PipeStage values
+// inside one enclosing function body):
+//
+//   - shared written capture: a variable declared outside the functors,
+//     captured by two or more of them, and written by at least one. Channels,
+//     queue.Queues, and sync and sync/atomic types are exempt — those are
+//     the sanctioned coordination points.
+//
+//   - captured-reference send: a functor sends (ch <- x) or enqueues
+//     (q.Enqueue(x)) a captured pointer-, slice-, or map-typed variable on a
+//     conduit a sibling functor receives from. Every iteration forwards the
+//     same reference, so the stages alias one object instead of handing off
+//     per-item values. Values produced inside the functor (dequeued,
+//     received, or allocated locally) are the sanctioned handoff and are
+//     never flagged.
+package stagealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/protocol"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "stagealias",
+	Doc: "check that sibling stage functors share no written captures and " +
+		"hand items off by value: aliased state defeats the drain " +
+		"protocol's no-migration guarantee",
+	Run: run,
+}
+
+// queuePath is the import path of the sanctioned inter-stage queue.
+const queuePath = "dope/internal/queue"
+
+// functor is one stage closure of an alternative, with the capture facts
+// the two rules consume.
+type functor struct {
+	lit *ast.FuncLit
+	// caps maps each captured outer variable to its first use position.
+	caps map[*types.Var]token.Pos
+	// writes maps each captured variable written (assigned, inc/dec'd, or
+	// stored through) to the first write position.
+	writes map[*types.Var]token.Pos
+	// sends are the channel sends and queue enqueues whose payload root is
+	// a variable.
+	sends []send
+	// recvs are the conduit variables this functor receives or dequeues
+	// from.
+	recvs map[*types.Var]bool
+}
+
+type send struct {
+	conduit *types.Var
+	value   *types.Var
+	pos     token.Pos
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, f *ast.File) {
+	lits := functorLits(pass.TypesInfo, f)
+	if len(lits) < 2 {
+		return
+	}
+
+	// Group the functors by their innermost enclosing function: the
+	// literals built inside one Make (or one builder body) are the sibling
+	// stages of one alternative.
+	var encl []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				encl = append(encl, n.Body)
+			}
+		case *ast.FuncLit:
+			encl = append(encl, n.Body)
+		}
+		return true
+	})
+	groups := make(map[*ast.BlockStmt][]*ast.FuncLit)
+	for _, lit := range lits {
+		groups[innermost(encl, lit)] = append(groups[innermost(encl, lit)], lit)
+	}
+
+	for _, group := range groups {
+		if len(group) < 2 {
+			continue
+		}
+		fs := make([]*functor, len(group))
+		for i, lit := range group {
+			fs[i] = analyze(pass, lit)
+		}
+		checkSharedWrites(pass, fs)
+		checkCapturedSends(pass, fs)
+	}
+}
+
+// checkSharedWrites is the shared-written-capture rule: a variable captured
+// by two or more sibling functors and written by at least one.
+func checkSharedWrites(pass *framework.Pass, fs []*functor) {
+	reported := make(map[*types.Var]bool)
+	for _, fn := range fs {
+		for v, pos := range fn.writes {
+			if reported[v] || isSanctionedShared(v.Type()) {
+				continue
+			}
+			shared := 0
+			for _, other := range fs {
+				if _, ok := other.caps[v]; ok {
+					shared++
+				}
+			}
+			if shared < 2 {
+				continue
+			}
+			reported[v] = true
+			pass.Reportf(pos,
+				"stage functor writes %q, which a sibling stage functor also captures: stages may share state only through channels, queues, or sync primitives, or the drain protocol cannot guarantee items never migrate between stages", v.Name())
+		}
+	}
+}
+
+// checkCapturedSends is the captured-reference-send rule: a functor
+// forwarding a captured reference on a conduit a sibling consumes.
+func checkCapturedSends(pass *framework.Pass, fs []*functor) {
+	for _, fn := range fs {
+		for _, s := range fn.sends {
+			if s.value == nil || s.conduit == nil {
+				continue
+			}
+			if _, captured := fn.caps[s.value]; !captured || !isRefType(s.value.Type()) {
+				continue
+			}
+			consumed := false
+			for _, other := range fs {
+				if other != fn && other.recvs[s.conduit] {
+					consumed = true
+					break
+				}
+			}
+			if !consumed {
+				continue
+			}
+			pass.Reportf(s.pos,
+				"stage functor forwards the captured reference %q to a sibling stage: every iteration sends the same object, so both stages alias it; hand off a value produced inside the functor so each item has one owner at a time", s.value.Name())
+		}
+	}
+}
+
+// functorLits collects the FuncLits installed as stage functors: the Fn
+// field of a core.StageFns or dope.PipeStage composite literal, or the
+// right-hand side of an assignment to such a value's Fn field.
+func functorLits(info *types.Info, f *ast.File) []*ast.FuncLit {
+	seen := make(map[*ast.FuncLit]bool)
+	var lits []*ast.FuncLit
+	add := func(e ast.Expr) {
+		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok && !seen[lit] {
+			seen[lit] = true
+			lits = append(lits, lit)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isStageType(typeOf(info, n)) {
+				return true
+			}
+			if fn := fieldValue(info, n, "Fn"); fn != nil {
+				add(fn)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Fn" || i >= len(n.Rhs) {
+					continue
+				}
+				if isStageType(typeOf(info, sel.X)) {
+					add(n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// innermost returns the smallest enclosing function body that properly
+// contains lit, or nil for a package-level literal.
+func innermost(bodies []*ast.BlockStmt, lit *ast.FuncLit) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b == lit.Body || b.Pos() > lit.Pos() || lit.End() > b.End() {
+			continue
+		}
+		if best == nil || b.Pos() > best.Pos() {
+			best = b
+		}
+	}
+	return best
+}
+
+// analyze walks one functor body and records its captured variables,
+// writes, sends, and receives.
+func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
+	info := pass.TypesInfo
+	fn := &functor{
+		lit:    lit,
+		caps:   make(map[*types.Var]token.Pos),
+		writes: make(map[*types.Var]token.Pos),
+		recvs:  make(map[*types.Var]bool),
+	}
+	capture := func(v *types.Var, pos token.Pos) *types.Var {
+		if v == nil || !captured(pass, v, lit) {
+			return nil
+		}
+		if _, ok := fn.caps[v]; !ok {
+			fn.caps[v] = pos
+		}
+		return v
+	}
+	write := func(e ast.Expr) {
+		if v := capture(rootVar(info, e), e.Pos()); v != nil {
+			if _, ok := fn.writes[v]; !ok {
+				fn.writes[v] = e.Pos()
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if v, ok := obj.(*types.Var); ok {
+				capture(v, n.Pos())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				write(lhs)
+			}
+		case *ast.IncDecStmt:
+			write(n.X)
+		case *ast.RangeStmt:
+			if isChan(typeOf(info, n.X)) {
+				fn.recvs[rootVar(info, n.X)] = true
+			}
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					write(n.Key)
+				}
+				if n.Value != nil {
+					write(n.Value)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fn.recvs[rootVar(info, n.X)] = true
+			}
+		case *ast.SendStmt:
+			fn.sends = append(fn.sends, send{
+				conduit: rootVar(info, n.Chan),
+				value:   rootVar(info, n.Value),
+				pos:     n.Pos(),
+			})
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !isQueue(typeOf(info, sel.X)) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Enqueue", "TryEnqueue":
+				if len(n.Args) == 1 {
+					fn.sends = append(fn.sends, send{
+						conduit: rootVar(info, sel.X),
+						value:   rootVar(info, n.Args[0]),
+						pos:     n.Pos(),
+					})
+				}
+			case "Dequeue", "TryDequeue", "DequeueWhile":
+				fn.recvs[rootVar(info, sel.X)] = true
+			}
+		}
+		return true
+	})
+	return fn
+}
+
+// captured reports whether v is a function-scoped variable declared outside
+// lit: a closure capture. Package-level variables, fields, and lit's own
+// locals and parameters are not captures.
+func captured(pass *framework.Pass, v *types.Var, lit *ast.FuncLit) bool {
+	if v.IsField() || v.Pkg() != pass.Pkg || !v.Pos().IsValid() {
+		return false
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// rootVar resolves the variable an lvalue or payload expression is rooted
+// in: x, x.f, x[i], *x, and chains thereof all root in x. A qualified
+// package reference roots in the named package variable.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					v, _ := info.Uses[x.Sel].(*types.Var)
+					return v
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isStageType reports whether t (or *t) is core.StageFns or dope.PipeStage.
+func isStageType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case protocol.CorePath:
+		return named.Obj().Name() == "StageFns"
+	case "dope":
+		return named.Obj().Name() == "PipeStage"
+	}
+	return false
+}
+
+// isSanctionedShared reports whether t is a type siblings may share: a
+// channel, a queue.Queue, or a sync or sync/atomic primitive (all after
+// stripping one pointer).
+func isSanctionedShared(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isChan(t) || isQueue(t) {
+		return true
+	}
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isQueue(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Queue" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == queuePath
+}
+
+// isRefType reports whether a value of type t aliases backing storage when
+// copied: pointers, slices, and maps.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// namedOf strips one pointer and returns the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldValue returns the expression bound to the named field of a struct
+// composite literal, keyed or positional.
+func fieldValue(info *types.Info, lit *ast.CompositeLit, name string) ast.Expr {
+	t := typeOf(info, lit)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i, el := range lit.Elts {
+		if kv, keyed := el.(*ast.KeyValueExpr); keyed {
+			if id, isID := kv.Key.(*ast.Ident); isID && id.Name == name {
+				return kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() && st.Field(i).Name() == name {
+			return el
+		}
+	}
+	return nil
+}

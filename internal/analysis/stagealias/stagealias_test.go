@@ -1,0 +1,12 @@
+package stagealias_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/stagealias"
+)
+
+func TestStageAlias(t *testing.T) {
+	analysistest.Run(t, "../testdata", stagealias.Analyzer, "stagealias")
+}

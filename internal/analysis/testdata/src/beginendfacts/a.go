@@ -1,0 +1,65 @@
+// Cross-package Begin/End discipline: the helpers live in another package,
+// so every diagnostic here depends on window facts flowing across the
+// package boundary.
+package beginendfacts
+
+import (
+	"beginendfacts/helper"
+
+	"dope/internal/core"
+)
+
+func work() {}
+
+// dropsStatus is the canonical cross-package violation: the helper opened a
+// window, the caller ignores the status and never Ends.
+func dropsStatus(w *core.Worker) {
+	helper.Open(w)
+} // want `functor returns while still holding a platform context`
+
+// dropsStatusChained leaks through the two-deep helper chain.
+func dropsStatusChained(w *core.Worker) {
+	helper.OpenChecked(w)
+} // want `functor returns while still holding a platform context`
+
+// balanced uses the suspension idiom on the helper call: no findings.
+func balanced(w *core.Worker) core.Status {
+	if helper.Open(w) == core.Suspended {
+		return core.Suspended
+	}
+	work()
+	return w.End()
+}
+
+// helperBoth opens and closes through helpers: no findings.
+func helperBoth(w *core.Worker) core.Status {
+	if helper.OpenChecked(w) == core.Suspended {
+		return core.Suspended
+	}
+	work()
+	return helper.Close(w)
+}
+
+// deferredHelperClose closes via a deferred helper call: no findings.
+func deferredHelperClose(w *core.Worker) {
+	if helper.Open(w) == core.Suspended {
+		return
+	}
+	defer helper.Close(w)
+	work()
+}
+
+// doubleOpen claims a second context through the helper.
+func doubleOpen(w *core.Worker) {
+	if w.Begin() == core.Suspended {
+		return
+	}
+	helper.Open(w) // want `call to Open opens a Begin/End window while one is already open`
+	w.End()
+	w.End()
+} // want `functor may return while holding a platform context`
+
+// closeUnopened releases a window nobody opened.
+func closeUnopened(w *core.Worker) {
+	helper.Close(w) // want `call to Close closes a Begin/End window that is not open`
+}

@@ -1,0 +1,23 @@
+// Package helper holds deliberate Begin/End helpers: each opens or closes a
+// window on behalf of its caller. The imbalance in their own bodies is
+// annotated away; the exported window facts make the callers — in the
+// beginendfacts package — the checked party.
+package helper
+
+import "dope/internal/core"
+
+// Open claims a platform context for the caller; the caller owns the window
+// and must End it (or bail out on Suspended).
+func Open(w *core.Worker) core.Status {
+	return w.Begin() //dopevet:ignore beginend deliberate opener: the caller closes the window
+}
+
+// OpenChecked opens through Open, exercising summary chaining.
+func OpenChecked(w *core.Worker) core.Status {
+	return Open(w) //dopevet:ignore beginend deliberate opener: the caller closes the window
+}
+
+// Close releases the caller's platform context.
+func Close(w *core.Worker) core.Status {
+	return w.End() //dopevet:ignore beginend deliberate closer: closes the caller's window
+}

@@ -1,0 +1,70 @@
+// Cross-package cooperation: the loops consult the watchdog's signals only
+// through helpers in another package, so the clean functors depend on
+// Cooperates facts flowing across the package boundary.
+package deadlinecheckfacts
+
+import (
+	"time"
+
+	"dope/internal/core"
+
+	"deadlinecheckfacts/helper"
+)
+
+func spin() {}
+
+// good cooperates via the foreign helper: no findings.
+var good = &core.AltSpec{
+	Name: "helper-coop",
+	Stages: []core.StageSpec{
+		{Name: "poll", Type: core.PAR, Deadline: 10 * time.Millisecond},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{{
+			Fn: func(w *core.Worker) core.Status {
+				for !helper.Cancelled(w) {
+					spin()
+				}
+				return core.Finished
+			},
+		}}}, nil
+	},
+}
+
+// goodChained cooperates through the two-deep helper chain: no findings.
+var goodChained = &core.AltSpec{
+	Name: "helper-coop-chain",
+	Stages: []core.StageSpec{
+		{Name: "poll2", Type: core.PAR, Deadline: 10 * time.Millisecond},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{{
+			Fn: func(w *core.Worker) core.Status {
+				for {
+					if helper.CancelledChained(w) {
+						return core.Finished
+					}
+					spin()
+				}
+			},
+		}}}, nil
+	},
+}
+
+// bad calls a foreign helper that does NOT consult any signal: still
+// flagged.
+var bad = &core.AltSpec{
+	Name: "no-coop",
+	Stages: []core.StageSpec{
+		{Name: "wedge", Type: core.PAR, Deadline: time.Second},
+	},
+	Make: func(item any) (*core.AltInstance, error) {
+		return &core.AltInstance{Stages: []core.StageFns{{
+			Fn: func(w *core.Worker) core.Status {
+				for { // want `stage "wedge" sets Deadline but this loop never checks`
+					spin()
+				}
+			},
+		}}}, nil
+	},
+}

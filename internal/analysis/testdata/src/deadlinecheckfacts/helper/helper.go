@@ -1,0 +1,21 @@
+// Package helper supplies a cross-package cooperation helper: it consults
+// Worker.Done, so loops calling it are cooperative.
+package helper
+
+import "dope/internal/core"
+
+// Cancelled reports whether the slot was abandoned by the watchdog.
+func Cancelled(w *core.Worker) bool {
+	select {
+	case <-w.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// CancelledChained cooperates through Cancelled, exercising summary
+// chaining.
+func CancelledChained(w *core.Worker) bool {
+	return Cancelled(w)
+}

@@ -5,9 +5,11 @@ package dope
 import "dope/internal/core"
 
 type (
-	Worker   = core.Worker
-	Status   = core.Status
-	NestSpec = core.NestSpec
+	Worker    = core.Worker
+	Status    = core.Status
+	NestSpec  = core.NestSpec
+	Mechanism = core.Mechanism
+	Option    = core.Option
 )
 
 const (
@@ -21,4 +23,47 @@ type PipeStage[T any] struct {
 	Par            bool
 	MinDoP, MaxDoP int
 	Fn             func(item T, extent int) T
+}
+
+// Goal API stub: the constructors and option vars goalcheck matches.
+type Goal struct {
+	Name        string
+	Threads     int
+	PowerBudget float64
+	Mechanism   Mechanism
+}
+
+func MinResponseTime(threads, mmax int, qmax float64) Goal          { return Goal{} }
+func MinResponseTimeWQTH(threads, mmax int, threshold float64) Goal { return Goal{} }
+func MaxThroughput(threads int) Goal                                { return Goal{} }
+func MaxThroughputUnderPower(threads int, watts float64) Goal       { return Goal{} }
+func MinEnergyDelay(threads int) Goal                               { return Goal{} }
+func StaticGoal(threads int) Goal                                   { return Goal{} }
+func CustomGoal(name string, threads int, m Mechanism) Goal         { return Goal{} }
+
+type DoPE struct{ *core.Exec }
+
+func Create(root *NestSpec, goal Goal, opts ...Option) (*DoPE, error) { return nil, nil }
+
+func (d *DoPE) SetGoal(g Goal) {}
+
+var (
+	WithContexts        = core.WithContexts
+	WithMechanism       = core.WithMechanism
+	WithControlInterval = core.WithControlInterval
+	WithMonitorAlpha    = core.WithMonitorAlpha
+)
+
+var Mechanisms = struct {
+	Proportional func(threads int) Mechanism
+	WQLinear     func(threads, mmax int, qmax float64) Mechanism
+	TBF          func(threads int) Mechanism
+	TPC          func(threads int, watts float64) Mechanism
+	EDP          func(threads int) Mechanism
+}{
+	Proportional: func(threads int) Mechanism { return nil },
+	WQLinear:     func(threads, mmax int, qmax float64) Mechanism { return nil },
+	TBF:          func(threads int) Mechanism { return nil },
+	TPC:          func(threads int, watts float64) Mechanism { return nil },
+	EDP:          func(threads int) Mechanism { return nil },
 }

@@ -4,6 +4,26 @@ package core
 
 import "time"
 
+// Mechanism and the executive options mirror the real core API surface
+// goalcheck anchors on.
+type Mechanism interface {
+	Propose(r *Report) *Config
+}
+
+type Report struct{}
+type Config struct{}
+
+type Exec struct{}
+
+type Option func(*Exec)
+
+func WithContexts(n int) Option                  { return nil }
+func WithMechanism(m Mechanism) Option           { return nil }
+func WithControlInterval(d time.Duration) Option { return nil }
+func WithMonitorAlpha(alpha float64) Option      { return nil }
+
+func New(root *NestSpec, opts ...Option) (*Exec, error) { return nil, nil }
+
 type Status int
 
 const (

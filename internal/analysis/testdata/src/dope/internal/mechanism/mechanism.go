@@ -1,0 +1,45 @@
+// Package mechanism is the fixture stub of dope/internal/mechanism: the
+// catalog type names goalcheck classifies, with no behavior.
+package mechanism
+
+import "dope/internal/core"
+
+type Proportional struct{ Threads int }
+
+type WQTH struct {
+	Threads, Mmax int
+	Threshold     float64
+}
+
+type WQLinear struct {
+	Threads, Mmax, Mmin int
+	Qmax                float64
+}
+
+type TBF struct {
+	Threads       int
+	DisableFusion bool
+}
+
+type FDP struct{ Threads int }
+
+type SEDA struct{ HighWater, LowWater float64 }
+
+type TPC struct {
+	Threads int
+	Budget  float64
+}
+
+type EDP struct{ Threads int }
+
+type LoadProportional struct{ Threads int }
+
+func (*Proportional) Propose(r *core.Report) *core.Config     { return nil }
+func (*WQTH) Propose(r *core.Report) *core.Config             { return nil }
+func (*WQLinear) Propose(r *core.Report) *core.Config         { return nil }
+func (*TBF) Propose(r *core.Report) *core.Config              { return nil }
+func (*FDP) Propose(r *core.Report) *core.Config              { return nil }
+func (*SEDA) Propose(r *core.Report) *core.Config             { return nil }
+func (*TPC) Propose(r *core.Report) *core.Config              { return nil }
+func (*EDP) Propose(r *core.Report) *core.Config              { return nil }
+func (*LoadProportional) Propose(r *core.Report) *core.Config { return nil }

@@ -16,3 +16,17 @@ func (q *Queue[T]) DequeueWhile(keepWaiting func() bool, poll time.Duration) (T,
 	var zero T
 	return zero, false, nil
 }
+
+func New[T any](capacity int) *Queue[T] { return &Queue[T]{} }
+
+func (q *Queue[T]) TryEnqueue(item T) (bool, error) { return true, nil }
+
+func (q *Queue[T]) TryDequeue() (T, bool, error) {
+	var zero T
+	return zero, true, nil
+}
+
+func (q *Queue[T]) Len() int     { return 0 }
+func (q *Queue[T]) Close()       {}
+func (q *Queue[T]) Reopen()      {}
+func (q *Queue[T]) Shed() uint64 { return 0 }

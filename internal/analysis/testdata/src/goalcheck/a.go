@@ -1,0 +1,79 @@
+// Seeded violations for the goalcheck analyzer.
+package goalcheck
+
+import (
+	"time"
+
+	"dope"
+	"dope/internal/core"
+	"dope/internal/mechanism"
+)
+
+var root = &dope.NestSpec{Name: "root"}
+
+// Rule A: a power-steered mechanism installed under a goal that provisions
+// no power budget. TPC controls toward a zero watt budget.
+func powerUnderThroughput() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithMechanism(&mechanism.TPC{Threads: 8, Budget: 95})) // want `mechanism TPC steers on the SystemPower feature, but goal MaxThroughput provisions no power budget`
+}
+
+// EDP under a response-time goal degenerates the same way.
+func powerUnderResponseTime() {
+	dope.Create(root, dope.MinResponseTime(8, 4, 2.0),
+		dope.WithMechanism(&mechanism.EDP{Threads: 8})) // want `mechanism EDP steers on the SystemPower feature, but goal MinResponseTime provisions no power budget`
+}
+
+// The Mechanisms catalog constructors classify the same as literals.
+func powerViaCatalog() {
+	dope.Create(root, dope.StaticGoal(4),
+		dope.WithMechanism(dope.Mechanisms.TPC(4, 60))) // want `mechanism TPC steers on the SystemPower feature, but goal StaticGoal provisions no power budget`
+}
+
+// CustomGoal takes the mechanism directly as its third argument; the goal
+// struct it builds carries no budget either.
+func powerUnderCustom() {
+	g := dope.CustomGoal("power", 8,
+		dope.Mechanisms.TPC(8, 95)) // want `mechanism TPC steers on the SystemPower feature, but goal CustomGoal provisions no power budget`
+	_ = g
+}
+
+// Rule B: the reverse mismatch — a power-budgeted goal whose controller is
+// overridden with a mechanism that never reads power.
+func budgetIgnored() {
+	dope.Create(root, dope.MaxThroughputUnderPower(8, 90),
+		dope.WithMechanism(dope.Mechanisms.TBF(8))) // want `goal MaxThroughputUnderPower sets a power budget, but WithMechanism overrides its controller with TBF, which never reads power`
+}
+
+func budgetIgnoredLiteral() {
+	dope.Create(root, dope.MaxThroughputUnderPower(8, 90),
+		dope.WithMechanism(&mechanism.WQLinear{Threads: 8, Mmax: 4, Qmax: 2})) // want `goal MaxThroughputUnderPower sets a power budget, but WithMechanism overrides its controller with WQLinear, which never reads power`
+}
+
+// Rule C: a control interval shorter than the monitor EWMA window. At the
+// default α = 0.25 the window is span(0.25)·100µs = 700µs.
+func intervalUnderWindow() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(200*time.Microsecond)) // want `control interval 200µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}
+
+// The option is checked even outside a Create call (e.g. built into a
+// shared option slice), at the default α.
+func intervalStandalone() dope.Option {
+	return dope.WithControlInterval(500 * time.Microsecond) // want `control interval 500µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}
+
+// A WithMonitorAlpha sited in the same option list shifts the floor:
+// span(0.5) = 3 → a 300µs window, so 250µs still undercuts it.
+func intervalUnderShiftedWindow() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithMonitorAlpha(0.5),
+		dope.WithControlInterval(250*time.Microsecond)) // want `control interval 250µs is shorter than the monitor EWMA window \(~300µs at α=0\.5\)`
+}
+
+// The checks anchor on the underlying core options too, for callers that
+// build the executive directly.
+func coreNewInterval() {
+	core.New(&core.NestSpec{Name: "r"},
+		core.WithControlInterval(300*time.Microsecond)) // want `control interval 300µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}

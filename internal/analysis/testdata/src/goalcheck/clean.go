@@ -1,0 +1,93 @@
+// False-positive regressions for the goalcheck analyzer: configurations
+// that look adjacent to the flagged shapes but are correct, or are outside
+// what the analyzer can decide statically.
+package goalcheck
+
+import (
+	"time"
+
+	"dope"
+	"dope/internal/core"
+	"dope/internal/mechanism"
+)
+
+func pickMech(powered bool) dope.Mechanism {
+	if powered {
+		return dope.Mechanisms.TPC(8, 95)
+	}
+	return dope.Mechanisms.TBF(8)
+}
+
+// A mechanism held in a variable is never guessed at: the analyzer only
+// classifies composite literals and catalog constructor calls.
+func mechanismViaVariable() {
+	m := pickMech(true)
+	dope.Create(root, dope.MaxThroughput(8), dope.WithMechanism(m))
+	dope.Create(root, dope.MaxThroughputUnderPower(8, 90), dope.WithMechanism(pickMech(false)))
+	g := dope.CustomGoal("app", 8, m)
+	_ = g
+}
+
+// Goal helpers choose their own mechanism; no WithMechanism override means
+// nothing to cross-check.
+func goalHelperDefaults() {
+	dope.Create(root, dope.MaxThroughput(8))
+	dope.Create(root, dope.MaxThroughputUnderPower(8, 90))
+	dope.Create(root, dope.MinEnergyDelay(8))
+	dope.Create(root, dope.MinResponseTimeWQTH(8, 4, 0.5))
+}
+
+// Power-steered mechanisms under power-provisioning goals are the intended
+// pairing.
+func powerUnderPowerGoal() {
+	dope.Create(root, dope.MaxThroughputUnderPower(8, 90),
+		dope.WithMechanism(&mechanism.TPC{Threads: 8, Budget: 90}))
+	dope.Create(root, dope.MinEnergyDelay(8),
+		dope.WithMechanism(&mechanism.EDP{Threads: 8}))
+}
+
+// Plain mechanisms under budget-less goals are fine in both directions.
+func plainUnderBudgetless() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithMechanism(dope.Mechanisms.TBF(8)))
+	dope.Create(root, dope.StaticGoal(4),
+		dope.WithMechanism(&mechanism.WQTH{Threads: 8, Mmax: 4, Threshold: 0.5}))
+	g := dope.CustomGoal("app", 8, dope.Mechanisms.Proportional(8))
+	_ = g
+}
+
+// Intervals at or above the EWMA window pass; the floor is 700µs at the
+// default α.
+func intervalAboveWindow() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(5*time.Millisecond))
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(700*time.Microsecond))
+}
+
+// d <= 0 means "use the default interval" at runtime; it is exempt.
+func intervalZero() {
+	dope.Create(root, dope.MaxThroughput(8), dope.WithControlInterval(0))
+}
+
+// A non-constant interval is outside static reach.
+func intervalVariable(d time.Duration) {
+	dope.Create(root, dope.MaxThroughput(8), dope.WithControlInterval(d))
+}
+
+// A larger α shrinks the window: span(0.9) ≈ 1.22 → ~122µs, so 150µs is
+// legal here even though it would undercut the default-α floor.
+func intervalUnderDefaultButAlphaShifted() {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithMonitorAlpha(0.9),
+		dope.WithControlInterval(150*time.Microsecond))
+}
+
+// Building the executive directly through core.New names no goal
+// constructor, so mechanism pairing is not checked there (the harness
+// installs TPC this way on purpose); only the interval rule applies.
+func coreNewMechanismUnchecked() {
+	core.New(&core.NestSpec{Name: "r"},
+		core.WithMechanism(&mechanism.TPC{Threads: 8, Budget: 95}),
+		core.WithControlInterval(5*time.Millisecond))
+}

@@ -1,0 +1,211 @@
+// False-positive regressions for the stagealias analyzer: the sanctioned
+// sharing shapes — per-item ownership handoff through queues and channels,
+// single-stage private state, read-only shared configuration, and
+// coordination through sync primitives — none of which may be flagged.
+package stagealias
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// The canonical pipeline shape (the ChannelPipeline builder, the apps
+// ports): each stage dequeues an item, owns it, and enqueues it onward.
+// The queues are captured and shared, the items are functor-local.
+func perItemHandoff(src *queue.Queue[item], q *queue.Queue[item]) *core.AltInstance {
+	next := 0
+	done := 0
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := src.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				// next is written here and referenced nowhere else: private
+				// per-stage bookkeeping is fine.
+				v.id = next
+				next++
+				st := w.End()
+				q.Enqueue(v)
+				if st == core.Suspended {
+					return core.Suspended
+				}
+				return core.Executing
+			},
+			Load: func() float64 { return float64(src.Len()) },
+			Fini: q.Close,
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				w.Begin()
+				observe(v.id)
+				done++
+				w.End()
+				return core.Executing
+			},
+			Load: func() float64 { return float64(q.Len()) },
+		},
+	}}
+}
+
+// A freshly-allocated item sent each iteration is a handoff, not an alias:
+// the sent variable is functor-local.
+func freshAllocationPerSend(ch chan *item) *core.AltInstance {
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				it := &item{}
+				produce(it)
+				st := w.End()
+				ch <- it
+				if st == core.Suspended {
+					return core.Suspended
+				}
+				return core.Executing
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				it := <-ch
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				consume(it)
+				return w.End()
+			},
+		},
+	}}
+}
+
+// Read-only shared configuration is not migration: nobody writes it.
+func readOnlyConfig(q *queue.Queue[int], scale int) *core.AltInstance {
+	limit := scale * 4
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				q.Enqueue(limit)
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				sink(v % limit)
+				return w.End()
+			},
+		},
+	}}
+}
+
+// sync and sync/atomic primitives are the sanctioned shared-state
+// coordination points, as are the queues and channels themselves.
+func sanctionedPrimitives(q *queue.Queue[int]) *core.AltInstance {
+	var remaining atomic.Int64
+	var mu sync.Mutex
+	notify := make(chan struct{}, 1)
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				mu.Lock()
+				remaining.Add(1)
+				mu.Unlock()
+				q.Enqueue(1)
+				notify <- struct{}{}
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				<-notify
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				remaining.Add(int64(-v))
+				return w.End()
+			},
+		},
+	}}
+}
+
+// Functors in different enclosing bodies are not siblings: two alternatives
+// of the same nest each get their own group, so a variable written in one
+// alternative's only functor never cross-fires against the other's.
+func twoAlternatives(q *queue.Queue[int]) []*core.AltSpec {
+	pipelineMake := func(itemArg any) (*core.AltInstance, error) {
+		// count is written and read by the tail functor alone: private
+		// per-stage state inside one alternative.
+		count := 0
+		return &core.AltInstance{Stages: []core.StageFns{
+			{
+				Fn: func(w *core.Worker) core.Status {
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
+					q.Enqueue(1)
+					return w.End()
+				},
+			},
+			{
+				Fn: func(w *core.Worker) core.Status {
+					v, err := q.Dequeue()
+					if err != nil {
+						return core.Finished
+					}
+					if w.Begin() == core.Suspended {
+						return core.Suspended
+					}
+					count += v
+					sink(count)
+					return w.End()
+				},
+			},
+		}}, nil
+	}
+	fusedMake := func(itemArg any) (*core.AltInstance, error) {
+		count := 0
+		return &core.AltInstance{Stages: []core.StageFns{{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				count++
+				sink(count)
+				return w.End()
+			},
+		}}}, nil
+	}
+	return []*core.AltSpec{
+		{Name: "pipeline", Make: pipelineMake},
+		{Name: "fused", Make: fusedMake},
+	}
+}

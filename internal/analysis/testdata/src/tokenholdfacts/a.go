@@ -1,0 +1,62 @@
+// Cross-package token holding: the blocking work hides behind helper calls
+// in another package, so every diagnostic depends on Blocks facts flowing
+// across the package boundary.
+package tokenholdfacts
+
+import (
+	"dope/internal/core"
+
+	"tokenholdfacts/helper"
+)
+
+func compute() {}
+
+// blocksViaHelper calls a foreign blocking helper inside its window.
+func blocksViaHelper(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	helper.Fetch() // want `blocking call to helper.Fetch \(a helper summarized as blocking\)`
+	return w.End()
+}
+
+// blocksViaChainedHelper blocks through a two-deep helper chain.
+func blocksViaChainedHelper(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	helper.FetchAll() // want `blocking call to helper.FetchAll \(a helper summarized as blocking\)`
+	return w.End()
+}
+
+// blocksInHelperWindow blocks inside a window a foreign helper opened: both
+// the window fact and the Blocks fact must flow.
+func blocksInHelperWindow(w *core.Worker) core.Status {
+	if helper.Open(w) == core.Suspended {
+		return core.Suspended
+	}
+	helper.Fetch() // want `blocking call to helper.Fetch \(a helper summarized as blocking\)`
+	return w.End()
+}
+
+// blocksOutside does its slow work before claiming the context: no findings.
+func blocksOutside(w *core.Worker) core.Status {
+	helper.Fetch()
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	compute()
+	return w.End()
+}
+
+// localSlow is a same-package blocking helper: the summary mechanism treats
+// it exactly like the foreign ones.
+func localSlow(c chan int) { <-c }
+
+func blocksViaLocalHelper(w *core.Worker, c chan int) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	localSlow(c) // want `blocking call to localSlow \(a helper summarized as blocking\)`
+	return w.End()
+}

@@ -1,0 +1,21 @@
+// Package helper supplies cross-package helpers for the tokenhold facts
+// fixture: functions that block, and one that opens a window for the
+// caller.
+package helper
+
+import (
+	"time"
+
+	"dope/internal/core"
+)
+
+// Fetch simulates slow I/O.
+func Fetch() { time.Sleep(time.Millisecond) }
+
+// FetchAll blocks through Fetch, exercising summary chaining.
+func FetchAll() { Fetch() }
+
+// Open claims a platform context for the caller.
+func Open(w *core.Worker) core.Status {
+	return w.Begin() //dopevet:ignore beginend deliberate opener: the caller closes the window
+}

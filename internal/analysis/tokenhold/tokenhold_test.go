@@ -8,5 +8,5 @@ import (
 )
 
 func TestTokenHold(t *testing.T) {
-	analysistest.Run(t, "../testdata", tokenhold.Analyzer, "tokenhold")
+	analysistest.Run(t, "../testdata", tokenhold.Analyzer, "tokenhold", "tokenholdfacts")
 }

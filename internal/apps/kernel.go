@@ -60,7 +60,10 @@ func Work(units int) {
 		Burn(units)
 		return
 	}
-	time.Sleep(time.Duration(units) * UnitDuration)
+	// The sleep is deliberate context occupancy, not a stall: in virtual
+	// mode the worker holds its hardware context for the work's duration
+	// without consuming a host core.
+	time.Sleep(time.Duration(units) * UnitDuration) //dopevet:ignore tokenhold virtual work occupies the context on purpose
 }
 
 // Burn executes a deterministic CPU-bound kernel of the given size and

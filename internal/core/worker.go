@@ -98,6 +98,11 @@ func (w *Worker) Begin() Status {
 	// the worker then still owns the token (the watchdog had nothing to
 	// reclaim) and End releases it without observing the iteration.
 	w.counted = w.gslot == nil || w.gslot.openWindow(w.beginAt)
+	if w.counted {
+		// Tell the monitors the stage is working again, so the idle wait
+		// that just ended is excluded from the rate's next gap.
+		w.stats.ObserveBegin(w.beginAt)
+	}
 	return Executing
 }
 
@@ -121,6 +126,7 @@ func (w *Worker) End() Status {
 		if observe {
 			now := w.exec.clock.Now()
 			w.stats.ObserveIteration(now.Sub(w.beginAt), now)
+			w.stats.ObserveEnd(now)
 		}
 		if release {
 			w.exec.contexts.Release()

@@ -33,6 +33,19 @@ type StageStats struct {
 	rate       *stats.EWMA // iterations/sec from inter-completion gaps
 	execSum    float64
 
+	// Idle accounting for the rate EWMA. Rate measures how fast the stage
+	// completes iterations while it is actually working; time the live
+	// workers spend with no Begin/End window open (blocked on an empty
+	// queue, waiting for sparse input) is idleness of the *workload*, not
+	// slowness of the stage, and must not be folded into the
+	// inter-completion gaps. open counts currently-open windows across the
+	// stage's workers; idleSince marks when open last dropped to zero; the
+	// accrued idle time since the previous completion is subtracted from
+	// the next gap.
+	open      int
+	idleSince time.Time
+	idleAccum time.Duration
+
 	// Worker-slot lifecycle, maintained by the executive's stage worker
 	// groups. With in-place resizing the configured extent and the number
 	// of workers actually iterating can briefly diverge (retiring slots
@@ -68,7 +81,38 @@ func newStageStats(alpha float64) *StageStats {
 	}
 }
 
-// ObserveIteration records one Begin..End section of d at time now.
+// ObserveBegin records that a worker opened a Begin/End window at now: the
+// stage is working again, so any idle stretch that just ended is banked for
+// the next completion's gap correction.
+func (s *StageStats) ObserveBegin(now time.Time) {
+	s.mu.Lock()
+	if s.open == 0 && !s.idleSince.IsZero() {
+		if idle := now.Sub(s.idleSince); idle > 0 {
+			s.idleAccum += idle
+		}
+		s.idleSince = time.Time{}
+	}
+	s.open++
+	s.mu.Unlock()
+}
+
+// ObserveEnd records that a worker closed its Begin/End window at now; when
+// it was the last open window, the stage is idle from now on.
+func (s *StageStats) ObserveEnd(now time.Time) {
+	s.mu.Lock()
+	if s.open > 0 {
+		s.open--
+	}
+	if s.open == 0 {
+		s.idleSince = now
+	}
+	s.mu.Unlock()
+}
+
+// ObserveIteration records one Begin..End section of d at time now. The
+// rate observation uses the inter-completion gap minus the idle time banked
+// by ObserveBegin/ObserveEnd, so the first completion after a quiet spell
+// reflects how fast the stage works, not how long it waited for input.
 func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,11 +122,12 @@ func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
 	s.iterations++
 	s.consecFail = 0
 	if !s.lastAt.IsZero() {
-		gap := now.Sub(s.lastAt).Seconds()
+		gap := (now.Sub(s.lastAt) - s.idleAccum).Seconds()
 		if gap > 0 {
 			s.rate.Observe(1 / gap)
 		}
 	}
+	s.idleAccum = 0
 	s.lastAt = now
 }
 
@@ -116,9 +161,19 @@ func (s *StageStats) ObserveWorkerExit(retired bool) {
 		s.retired++
 	}
 	if s.workers == 0 {
-		s.lastAt = time.Time{}
+		s.resetGapLocked()
 	}
 	s.mu.Unlock()
+}
+
+// resetGapLocked clears the inter-completion gap state when the stage has
+// no live workers: the next completion starts a fresh rate history instead
+// of deriving a gap from before the pause.
+func (s *StageStats) resetGapLocked() {
+	s.lastAt = time.Time{}
+	s.idleSince = time.Time{}
+	s.idleAccum = 0
+	s.open = 0
 }
 
 // ObserveFailure records one functor panic absorbed by the stage and
@@ -170,8 +225,15 @@ func (s *StageStats) ObserveAbandon() {
 		s.workers--
 	}
 	s.zombies++
+	// The abandoned slot's window was open (that is what stalled); close it
+	// here since its late End, if any, stays invisible to the monitors. The
+	// moment idleness began is unknown, so no idle stretch is banked until
+	// the next window opens.
+	if s.open > 0 {
+		s.open--
+	}
 	if s.workers == 0 {
-		s.lastAt = time.Time{}
+		s.resetGapLocked()
 	}
 	s.mu.Unlock()
 }

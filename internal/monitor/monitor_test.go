@@ -149,3 +149,95 @@ func TestFailureCounters(t *testing.T) {
 		t.Fatalf("streak restarts at %d", got)
 	}
 }
+
+// TestRateExcludesIdleWait pins the idle-accounting contract of the rate
+// EWMA: a stage that still has a live worker but sits with no Begin/End
+// window open (blocked on sparse input) must not fold the wait into the
+// inter-completion gap. Before idle accounting, the scenario below — worker
+// A iterates, worker B arrives, A exits (so the worker gauge never touches
+// zero and lastAt survives), then the stage idles 60 s before B's first
+// completion — observed a gap of ~60 s and collapsed the rate to ~0.017/s.
+func TestRateExcludesIdleWait(t *testing.T) {
+	s := newStageStats(0.5)
+
+	s.ObserveWorkerStart() // A
+	t0 := time.Unix(100, 0)
+	s.ObserveBegin(t0.Add(-10 * time.Millisecond))
+	s.ObserveIteration(10*time.Millisecond, t0)
+	s.ObserveEnd(t0)
+
+	s.ObserveWorkerStart()     // B arrives
+	s.ObserveWorkerExit(false) // A exits; workers 2 -> 1, lastAt survives
+
+	// 60 s with no window open, then B completes one 10 ms iteration.
+	begin := t0.Add(60 * time.Second)
+	s.ObserveBegin(begin)
+	end := begin.Add(10 * time.Millisecond)
+	s.ObserveIteration(10*time.Millisecond, end)
+	s.ObserveEnd(end)
+
+	// The gap net of banked idle time is the 10 ms window: ~100/s.
+	if got := s.Rate(); math.Abs(got-100) > 5 {
+		t.Fatalf("rate after idle spell = %v, want ~100", got)
+	}
+}
+
+// TestRateIdleInterleaved exercises overlapping windows: while any sibling
+// worker still holds a window open, wall time is working time, and only the
+// stretches with zero open windows are excluded.
+func TestRateIdleInterleaved(t *testing.T) {
+	s := newStageStats(0.5)
+	s.ObserveWorkerStart()
+	s.ObserveWorkerStart()
+
+	at := func(ms int) time.Time { return time.Unix(50, 0).Add(time.Duration(ms) * time.Millisecond) }
+
+	// Worker A: window [0, 30]; completion at 30.
+	s.ObserveBegin(at(0))
+	// Worker B: window [10, 20] overlaps A's; its completion at 20 seeds
+	// lastAt.
+	s.ObserveBegin(at(10))
+	s.ObserveIteration(10*time.Millisecond, at(20))
+	s.ObserveEnd(at(20))
+	s.ObserveIteration(30*time.Millisecond, at(30))
+	s.ObserveEnd(at(30))
+	// Idle [30, 130]: no window open. Then A iterates [130, 140].
+	s.ObserveBegin(at(130))
+	s.ObserveIteration(10*time.Millisecond, at(140))
+	s.ObserveEnd(at(140))
+
+	// Gap for the completion at 30: 10 ms (B's at 20 -> A's at 30, fully
+	// covered by open windows) -> 100/s. Gap for the completion at 140:
+	// 110 ms wall minus 100 ms idle = 10 ms -> 100/s. EWMA stays ~100.
+	if got := s.Rate(); math.Abs(got-100) > 5 {
+		t.Fatalf("rate with interleaved windows = %v, want ~100", got)
+	}
+}
+
+// TestRateResetOnIdleStage pins the existing workers==0 contract after the
+// idle-accounting change: once the last worker exits, the gap state is
+// fully cleared, so the first completion of the next instance starts a
+// fresh history instead of deriving a gap (or banked idle time) from
+// before the pause.
+func TestRateResetOnIdleStage(t *testing.T) {
+	s := newStageStats(0.5)
+	s.ObserveWorkerStart()
+	t0 := time.Unix(100, 0)
+	s.ObserveBegin(t0.Add(-10 * time.Millisecond))
+	s.ObserveIteration(10*time.Millisecond, t0)
+	s.ObserveEnd(t0)
+	s.ObserveWorkerExit(false) // workers 1 -> 0
+
+	rate := s.Rate() // no inter-completion gap observed yet
+
+	// A new instance an hour later: its first completion must not observe
+	// a gap at all.
+	later := t0.Add(time.Hour)
+	s.ObserveWorkerStart()
+	s.ObserveBegin(later)
+	s.ObserveIteration(10*time.Millisecond, later.Add(10*time.Millisecond))
+	s.ObserveEnd(later.Add(10 * time.Millisecond))
+	if got := s.Rate(); got != rate {
+		t.Fatalf("first completion after a worker-less pause moved the rate: %v -> %v", rate, got)
+	}
+}
