@@ -4,7 +4,7 @@ GO ?= go
 # this timeout so a hung example fails CI instead of wedging it.
 EXAMPLE_TIMEOUT ?= 120s
 
-.PHONY: build test vet dope-vet examples stalls ci
+.PHONY: build test vet dope-vet examples stalls bench ci
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,14 @@ examples:
 # Stall-tolerance and overload-protection experiment (EXPERIMENTS.md).
 stalls:
 	$(GO) run ./cmd/dope-bench -exp stalls
+
+# Begin/End hot-path microbenchmarks with the allocation gate CI runs on
+# every push. Add OUT=BENCH_beginend.json to append a labeled entry to
+# the checked-in trajectory file when recording a milestone.
+BENCH_LABEL ?= dev
+OUT ?=
+bench:
+	$(GO) run ./cmd/dope-bench -bench beginend -label $(BENCH_LABEL) \
+		$(if $(OUT),-out $(OUT),) -gate
 
 ci: build vet test examples

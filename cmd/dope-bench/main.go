@@ -8,19 +8,29 @@
 //	dope-bench -exp fig2c
 //	dope-bench -exp table5 -scale 0.5
 //	dope-bench -all
+//	dope-bench -bench beginend -label after -out BENCH_beginend.json -gate
 //
 // Simulated experiments accept -scale to shrink/grow the task counts
 // relative to the paper's 500-task runs; live experiments run the real
 // DoPE executive at a fixed reduced scale.
+//
+// The -bench mode runs the executive's own overhead microbenchmarks
+// (internal/microbench) and appends a labeled entry to a BENCH_*.json
+// trajectory file; -gate additionally fails the process when the
+// uncontended Begin/End path allocates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"dope/internal/harness"
+	"dope/internal/microbench"
 )
 
 func main() {
@@ -30,6 +40,10 @@ func main() {
 		list   = flag.Bool("list", false, "list available experiments")
 		all    = flag.Bool("all", false, "run every simulated experiment (skips live-*)")
 		format = flag.String("format", "text", "output format: text | csv | json | plot")
+		bench  = flag.String("bench", "", "overhead microbenchmark suite to run: beginend")
+		out    = flag.String("out", "", "append the -bench entry to this BENCH_*.json trajectory file")
+		label  = flag.String("label", "dev", "label for the -bench trajectory entry")
+		gate   = flag.Bool("gate", false, "with -bench: exit nonzero if the uncontended Begin/End path allocates")
 	)
 	flag.Parse()
 	outputFormat = *format
@@ -39,6 +53,8 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-16s %s\n", e[0], e[1])
 		}
+	case *bench != "":
+		runBench(*bench, *out, *label, *gate)
 	case *all:
 		for _, e := range harness.Experiments() {
 			if strings.HasPrefix(e[0], "live-") {
@@ -52,6 +68,68 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runBench runs one microbenchmark suite, prints the results, appends a
+// labeled entry to the trajectory file (when -out is given), and applies
+// the allocation gate (when -gate is given).
+func runBench(suite, outFile, label string, gate bool) {
+	if suite != "beginend" {
+		fmt.Fprintf(os.Stderr, "dope-bench: unknown -bench suite %q (want beginend)\n", suite)
+		os.Exit(2)
+	}
+	results := microbench.BeginEnd()
+	for _, r := range results {
+		fmt.Printf("%-24s %12d iters %12.1f ns/op %6d B/op %6d allocs/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if outFile != "" {
+		entry := microbench.Entry{
+			Label:      label,
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Results:    results,
+		}
+		if err := appendEntry(outFile, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "dope-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if gate {
+		if err := microbench.Gate(results); err != nil {
+			fmt.Fprintln(os.Stderr, "dope-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("gate: ok (uncontended Begin/End is allocation-free)")
+	}
+}
+
+// appendEntry reads the existing trajectory (if any), appends entry, and
+// rewrites the file. An entry with the same label replaces its predecessor
+// so re-running `make bench` does not grow the file without bound.
+func appendEntry(path string, entry microbench.Entry) error {
+	var entries []microbench.Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range entries {
+		if entries[i].Label == entry.Label {
+			entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, entry)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // outputFormat selects how run renders tables.

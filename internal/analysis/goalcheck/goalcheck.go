@@ -203,7 +203,7 @@ func checkInterval(pass *framework.Pass, call *ast.CallExpr, alpha float64) {
 	if len(call.Args) != 1 {
 		return
 	}
-	d, ok := durationConst(pass.TypesInfo, call.Args[0])
+	d, ok := foldDuration(pass, call.Args[0])
 	if !ok || d <= 0 {
 		return
 	}
@@ -301,6 +301,102 @@ func isMechanismsVar(info *types.Info, e ast.Expr) bool {
 	}
 	v, ok := obj.(*types.Var)
 	return ok && v.Name() == "Mechanisms" && v.Pkg() != nil && v.Pkg().Path() == dopePath
+}
+
+// foldDuration evaluates the interval argument to a time.Duration when that
+// is statically sound. Three shapes fold: a constant expression (a literal
+// product like 2*time.Millisecond, or a named constant — the type checker
+// has already folded both), and a single-assignment local whose one
+// initializer is such a constant. A local that is ever reassigned, or whose
+// address escapes, stays outside static reach.
+func foldDuration(pass *framework.Pass, e ast.Expr) (time.Duration, bool) {
+	if d, ok := durationConst(pass.TypesInfo, e); ok {
+		return d, true
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() != pass.Pkg ||
+		v.Parent() == pass.Pkg.Scope() {
+		return 0, false
+	}
+	init := singleInit(pass, v)
+	if init == nil {
+		return 0, false
+	}
+	return durationConst(pass.TypesInfo, init)
+}
+
+// singleInit returns the sole expression ever assigned to the local v, or
+// nil when v is reassigned, incremented, or has its address taken anywhere
+// in its file.
+func singleInit(pass *framework.Pass, v *types.Var) ast.Expr {
+	var file *ast.File
+	for _, f := range pass.Files {
+		if f.FileStart <= v.Pos() && v.Pos() < f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil
+	}
+	var init ast.Expr
+	sound := true
+	usesV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && (pass.TypesInfo.Uses[id] == v || pass.TypesInfo.Defs[id] == v)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !usesV(lhs) {
+					continue
+				}
+				if n.Tok != token.DEFINE || init != nil || i >= len(n.Rhs) ||
+					len(n.Lhs) != len(n.Rhs) {
+					sound = false
+					return false
+				}
+				init = n.Rhs[i]
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] != v {
+					continue
+				}
+				if init != nil || i >= len(n.Values) {
+					sound = false
+					return false
+				}
+				init = n.Values[i]
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN &&
+				((n.Key != nil && usesV(n.Key)) || (n.Value != nil && usesV(n.Value))) {
+				sound = false
+				return false
+			}
+		case *ast.IncDecStmt:
+			if usesV(n.X) {
+				sound = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesV(n.X) {
+				sound = false
+				return false
+			}
+		}
+		return true
+	})
+	if !sound {
+		return nil
+	}
+	return init
 }
 
 // durationConst evaluates a constant time.Duration expression.

@@ -9,6 +9,7 @@ package load
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -196,6 +197,13 @@ func goFilesIn(dir string, tests bool) ([]string, error) {
 			continue
 		}
 		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints (GOOS/GOARCH filename suffixes and
+		// //go:build lines) for the host platform, as the go tool would:
+		// loading both arms of an arch-gated pair (e.g. a _amd64 file and
+		// its fallback) redeclares symbols and breaks type-checking.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		names = append(names, name)

@@ -46,15 +46,41 @@ var Analyzer = &framework.Analyzer{
 // queuePath is the import path of the sanctioned inter-stage queue.
 const queuePath = "dope/internal/queue"
 
+// access identifies what a functor touched at field granularity: a whole
+// captured variable (field == nil), or one direct field of it (v.field and
+// deeper paths rooted there). Two siblings sharing one receiver-like struct
+// but touching distinct fields do not alias each other's state, so the
+// shared-write rule compares accesses, not just root variables.
+type access struct {
+	v     *types.Var
+	field *types.Var // nil: the variable as a whole
+}
+
+// conflicts reports whether the two accesses can alias: same root variable
+// and overlapping field paths (a whole-variable access overlaps every
+// field).
+func (a access) conflicts(b access) bool {
+	return a.v == b.v &&
+		(a.field == nil || b.field == nil || a.field == b.field)
+}
+
+// name renders the access for diagnostics: "v" or "v.field".
+func (a access) name() string {
+	if a.field == nil {
+		return a.v.Name()
+	}
+	return a.v.Name() + "." + a.field.Name()
+}
+
 // functor is one stage closure of an alternative, with the capture facts
 // the two rules consume.
 type functor struct {
 	lit *ast.FuncLit
-	// caps maps each captured outer variable to its first use position.
-	caps map[*types.Var]token.Pos
-	// writes maps each captured variable written (assigned, inc/dec'd, or
+	// caps maps each captured access to its first use position.
+	caps map[access]token.Pos
+	// writes maps each captured access written (assigned, inc/dec'd, or
 	// stored through) to the first write position.
-	writes map[*types.Var]token.Pos
+	writes map[access]token.Pos
 	// sends are the channel sends and queue enqueues whose payload root is
 	// a variable.
 	sends []send
@@ -115,29 +141,53 @@ func checkFile(pass *framework.Pass, f *ast.File) {
 	}
 }
 
-// checkSharedWrites is the shared-written-capture rule: a variable captured
-// by two or more sibling functors and written by at least one.
+// checkSharedWrites is the shared-written-capture rule: an access captured
+// by two or more sibling functors and written by at least one. The
+// comparison is field-granular — two functors that share a captured struct
+// but write disjoint fields of it keep disjoint state and are not flagged.
 func checkSharedWrites(pass *framework.Pass, fs []*functor) {
-	reported := make(map[*types.Var]bool)
+	reported := make(map[access]bool)
 	for _, fn := range fs {
-		for v, pos := range fn.writes {
-			if reported[v] || isSanctionedShared(v.Type()) {
+		for a, pos := range fn.writes {
+			if reported[a] || isSanctionedShared(a.v.Type()) ||
+				(a.field != nil && isSanctionedShared(a.field.Type())) {
 				continue
 			}
 			shared := 0
 			for _, other := range fs {
-				if _, ok := other.caps[v]; ok {
+				if capturesConflicting(other, a) {
 					shared++
 				}
 			}
 			if shared < 2 {
 				continue
 			}
-			reported[v] = true
+			reported[a] = true
 			pass.Reportf(pos,
-				"stage functor writes %q, which a sibling stage functor also captures: stages may share state only through channels, queues, or sync primitives, or the drain protocol cannot guarantee items never migrate between stages", v.Name())
+				"stage functor writes %q, which a sibling stage functor also captures: stages may share state only through channels, queues, or sync primitives, or the drain protocol cannot guarantee items never migrate between stages", a.name())
 		}
 	}
+}
+
+// capturesVar reports whether fn captured v at all, whole or by field.
+func capturesVar(fn *functor, v *types.Var) bool {
+	for b := range fn.caps {
+		if b.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// capturesConflicting reports whether fn captured any access that can alias
+// a.
+func capturesConflicting(fn *functor, a access) bool {
+	for b := range fn.caps {
+		if a.conflicts(b) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkCapturedSends is the captured-reference-send rule: a functor
@@ -148,7 +198,7 @@ func checkCapturedSends(pass *framework.Pass, fs []*functor) {
 			if s.value == nil || s.conduit == nil {
 				continue
 			}
-			if _, captured := fn.caps[s.value]; !captured || !isRefType(s.value.Type()) {
+			if !capturesVar(fn, s.value) || !isRefType(s.value.Type()) {
 				continue
 			}
 			consumed := false
@@ -225,23 +275,43 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 	info := pass.TypesInfo
 	fn := &functor{
 		lit:    lit,
-		caps:   make(map[*types.Var]token.Pos),
-		writes: make(map[*types.Var]token.Pos),
+		caps:   make(map[access]token.Pos),
+		writes: make(map[access]token.Pos),
 		recvs:  make(map[*types.Var]bool),
 	}
-	capture := func(v *types.Var, pos token.Pos) *types.Var {
-		if v == nil || !captured(pass, v, lit) {
-			return nil
+	// fieldOf maps a base identifier to the field directly selected from
+	// it (s in s.f, including through an auto-deref), so the Ident walk
+	// below records the field-granular access instead of the whole
+	// variable. An identifier used bare — passed along, aliased, method
+	// receiver — stays a whole-variable access.
+	fieldOf := make(map[*ast.Ident]*types.Var)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
 		}
-		if _, ok := fn.caps[v]; !ok {
-			fn.caps[v] = pos
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
 		}
-		return v
+		if f := directField(info, sel); f != nil {
+			fieldOf[id] = f
+		}
+		return true
+	})
+	capture := func(a access, pos token.Pos) bool {
+		if a.v == nil || !captured(pass, a.v, lit) {
+			return false
+		}
+		if _, ok := fn.caps[a]; !ok {
+			fn.caps[a] = pos
+		}
+		return true
 	}
 	write := func(e ast.Expr) {
-		if v := capture(rootVar(info, e), e.Pos()); v != nil {
-			if _, ok := fn.writes[v]; !ok {
-				fn.writes[v] = e.Pos()
+		if a := rootAccess(info, e); capture(a, e.Pos()) {
+			if _, ok := fn.writes[a]; !ok {
+				fn.writes[a] = e.Pos()
 			}
 		}
 	}
@@ -250,7 +320,7 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 		case *ast.Ident:
 			obj := info.Uses[n]
 			if v, ok := obj.(*types.Var); ok {
-				capture(v, n.Pos())
+				capture(access{v: v, field: fieldOf[n]}, n.Pos())
 			}
 		case *ast.AssignStmt:
 			if n.Tok == token.DEFINE {
@@ -317,6 +387,45 @@ func captured(pass *framework.Pass, v *types.Var, lit *ast.FuncLit) bool {
 		return false
 	}
 	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// rootAccess resolves an lvalue or payload expression to its field-granular
+// access: x.f, x.f.g, x.f[i] all root in the access (x, f); x, *x, x[i]
+// root in x as a whole. Promoted (embedded) fields fall back to the whole
+// variable — their storage overlaps other promotion paths.
+func rootAccess(info *types.Info, e ast.Expr) access {
+	for {
+		x := ast.Unparen(e)
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID {
+				if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+					v, _ := info.Uses[id].(*types.Var)
+					return access{v: v, field: directField(info, sel)}
+				}
+			}
+		}
+		switch x := x.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return access{v: rootVar(info, e)}
+		}
+	}
+}
+
+// directField returns the field selected by sel when it is a plain
+// single-step field selection (no embedded-field promotion), else nil.
+func directField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
 }
 
 // rootVar resolves the variable an lvalue or payload expression is rooted

@@ -77,3 +77,19 @@ func coreNewInterval() {
 	core.New(&core.NestSpec{Name: "r"},
 		core.WithControlInterval(300*time.Microsecond)) // want `control interval 300µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
 }
+
+// A single-assignment local folds to its constant initializer: naming the
+// interval does not hide it from the window check.
+func intervalThroughLocal() {
+	tick := 200 * time.Microsecond
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(tick)) // want `control interval 200µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}
+
+// var-declared locals and named constants fold the same way.
+func intervalThroughVarDecl() {
+	const base = 100 * time.Microsecond
+	var tick = 3 * base
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(tick)) // want `control interval 300µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}

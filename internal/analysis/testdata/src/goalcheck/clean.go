@@ -91,3 +91,22 @@ func coreNewMechanismUnchecked() {
 		core.WithMechanism(&mechanism.TPC{Threads: 8, Budget: 95}),
 		core.WithControlInterval(5*time.Millisecond))
 }
+
+// A reassigned local is not a constant: the second store may run first (or
+// at all), so the checker must not fold the initializer and cry wolf.
+func intervalReassignedLocal(fast bool) {
+	tick := 200 * time.Microsecond
+	if !fast {
+		tick = 5 * time.Millisecond
+	}
+	dope.Create(root, dope.MaxThroughput(8), dope.WithControlInterval(tick))
+}
+
+// A local whose address escapes can be rewritten behind the checker's back.
+func intervalEscapedLocal() {
+	tick := 200 * time.Microsecond
+	tune(&tick)
+	dope.Create(root, dope.MaxThroughput(8), dope.WithControlInterval(tick))
+}
+
+func tune(d *time.Duration) { *d = 5 * time.Millisecond }

@@ -52,7 +52,8 @@ func sharedCursor(q *queue.Queue[int]) *core.AltInstance {
 }
 
 // The write can hide behind a selector or index: storing through a captured
-// struct or slice is still a write to shared state.
+// struct or slice is still a write to shared state. The diagnostic names
+// the field, because the sibling touches the same one.
 func sharedThroughSelector(q *queue.Queue[int]) *core.AltInstance {
 	var last item
 	return &core.AltInstance{Stages: []core.StageFns{
@@ -61,7 +62,7 @@ func sharedThroughSelector(q *queue.Queue[int]) *core.AltInstance {
 				if w.Begin() == core.Suspended {
 					return core.Suspended
 				}
-				last.id++ // want `stage functor writes "last", which a sibling stage functor also captures`
+				last.id++ // want `stage functor writes "last.id", which a sibling stage functor also captures`
 				q.Enqueue(last.id)
 				return w.End()
 			},
@@ -183,4 +184,35 @@ func pipeStageSiblings() []dope.PipeStage[int] {
 			return v + seen
 		}},
 	}
+}
+
+// A whole-variable write conflicts with every field a sibling touches: the
+// reset clobbers the id field the tail is reading, field granularity or no.
+func wholeStructResetVsFieldRead(q *queue.Queue[int]) *core.AltInstance {
+	var cur item
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				cur = item{} // want `stage functor writes "cur", which a sibling stage functor also captures`
+				q.Enqueue(1)
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				observe(v + cur.id)
+				return w.End()
+			},
+		},
+	}}
 }

@@ -209,3 +209,39 @@ func twoAlternatives(q *queue.Queue[int]) []*core.AltSpec {
 		{Name: "fused", Make: fusedMake},
 	}
 }
+
+// Receiver-field granularity: both functors capture the same stats struct,
+// but each writes only its own field — disjoint storage, no migration
+// hazard, must not be flagged.
+func distinctFieldsOfSharedStruct(q *queue.Queue[int]) *core.AltInstance {
+	var stats struct {
+		produced int
+		consumed int
+	}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				stats.produced++
+				q.Enqueue(stats.produced)
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				stats.consumed += v
+				sink(stats.consumed)
+				return w.End()
+			},
+		},
+	}}
+}

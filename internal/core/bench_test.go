@@ -13,16 +13,41 @@ import (
 // the parallel tasks"; divide this number by a task's section length to
 // check (e.g. ~300 ns against a 100 µs section is 0.3%).
 func BenchmarkBeginEnd(b *testing.B) {
-	var iters atomic.Int64
+	benchBeginEnd(b, 1)
+}
+
+// BenchmarkBeginEndContended runs the same monitored section on eight PAR
+// workers over eight contexts, so every iteration crosses the token pool
+// and the stage monitor concurrently — the regime the sharded freelists
+// and per-slot accumulators exist for.
+func BenchmarkBeginEndContended(b *testing.B) {
+	benchBeginEnd(b, 8)
+}
+
+func benchBeginEnd(b *testing.B, workers int) {
+	b.ReportAllocs()
+	typ := SEQ
+	if workers > 1 {
+		typ = PAR
+	}
+	// Each slot counts its own quota in a padded plain counter so the
+	// harness does not add a shared atomic RMW to every measured iteration.
+	quota := (b.N + workers - 1) / workers
+	cnt := make([]struct {
+		n int
+		_ [56]byte
+	}, workers)
 	spec := &NestSpec{Name: "bench", Alts: []*AltSpec{{
 		Name:   "loop",
-		Stages: []StageSpec{{Name: "worker", Type: SEQ}},
+		Stages: []StageSpec{{Name: "worker", Type: typ}},
 		Make: func(item any) (*AltInstance, error) {
 			return &AltInstance{Stages: []StageFns{{
 				Fn: func(w *Worker) Status {
-					if int(iters.Add(1)) > b.N {
+					c := &cnt[w.Slot()]
+					if c.n >= quota {
 						return Finished
 					}
+					c.n++
 					w.Begin() //dopevet:ignore suspendcheck benchmark runs under a static configuration; statuses are irrelevant
 					w.End()
 					return Executing
@@ -30,7 +55,9 @@ func BenchmarkBeginEnd(b *testing.B) {
 			}}}, nil
 		},
 	}}}
-	e, err := New(spec, WithContexts(1))
+	e, err := New(spec,
+		WithContexts(workers),
+		WithInitialConfig(&Config{Extents: []int{workers}}))
 	if err != nil {
 		b.Fatal(err)
 	}

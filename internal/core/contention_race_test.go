@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/queue"
+)
+
+// perItemSpec is doallSpec with per-item accounting: counts[v] records how
+// many times item v was processed, so exactly-once claims survive -race and
+// any interleaving of drains, resizes, and watchdog reclamation.
+func perItemSpec(work *queue.Queue[int], counts []atomic.Int32, spin time.Duration) *NestSpec {
+	mk := func(item any) (*AltInstance, error) {
+		return &AltInstance{Stages: []StageFns{{
+			Fn: func(w *Worker) Status {
+				if w.Suspending() {
+					return Suspended
+				}
+				v, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+				if errors.Is(err, queue.ErrClosed) {
+					return Finished
+				}
+				if !ok {
+					return Suspended
+				}
+				w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
+				if spin > 0 {
+					for end := time.Now().Add(spin); time.Now().Before(end); {
+					}
+				}
+				counts[v].Add(1)
+				w.End()
+				return Executing
+			},
+			Load: func() float64 { return float64(work.Len()) },
+		}}}, nil
+	}
+	return &NestSpec{Name: "app", Alts: []*AltSpec{
+		{Name: "doall-a", Stages: []StageSpec{{Name: "worker", Type: PAR}}, Make: mk},
+		{Name: "doall-b", Stages: []StageSpec{{Name: "worker", Type: PAR}}, Make: mk},
+	}}
+}
+
+// assertExactlyOnce fails unless every item was processed exactly once.
+func assertExactlyOnce(t *testing.T, counts []atomic.Int32) {
+	t.Helper()
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("item %d processed %d times, want exactly once", i, got)
+		}
+	}
+}
+
+// Resizes sweeping up and down while the extent oversubscribes a sharded
+// multi-shard pool: retiring slots must return their tokens through the
+// shard CAS path (never lose one to a blocked sibling), and growing must
+// never mint one. Run with -race this also pins the shard-word and
+// blocked-waiter protocol.
+func TestResizeDuringPoolContention(t *testing.T) {
+	const items, nCtx = 600, 4
+	work := queue.New[int](0)
+	counts := make([]atomic.Int32, items)
+	spec := perItemSpec(work, counts, 20*time.Microsecond)
+	e, err := New(spec, WithContexts(nCtx),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{12}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < items/2; i++ {
+		work.Enqueue(i)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Thrash the extent around the pool size while items flow: 12 workers
+	// on 4 contexts keeps acquirers parked in the slow tier the whole time.
+	extents := []int{3, 12, 1, 8, 2, 12, 4, 10}
+	for round := 0; round < 3; round++ {
+		for _, x := range extents {
+			e.SetConfig(&Config{Alt: 0, Extents: []int{x}})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for i := items / 2; i < items; i++ {
+		work.Enqueue(i)
+	}
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactlyOnce(t, counts)
+	c := e.Contexts()
+	if c.Busy() != 0 {
+		t.Fatalf("busy = %d after Wait, token leaked or double-freed", c.Busy())
+	}
+	if c.Peak() > nCtx {
+		t.Fatalf("peak = %d exceeds pool size %d", c.Peak(), nCtx)
+	}
+	if c.Blocked() != 0 {
+		t.Fatalf("blocked = %d after Wait", c.Blocked())
+	}
+	if got := e.Suspensions(); got != 0 {
+		t.Fatalf("extent-only resizes caused %d suspensions", got)
+	}
+}
+
+// Root-alternative switches force the full suspend→drain→respawn protocol
+// while the pool stays oversubscribed. The drain guarantee under test: a
+// claimed item is finished by the claiming slot before the respawned run
+// starts, so nothing is processed twice and nothing is lost — even when
+// every drain has workers parked on Acquire.
+func TestDrainNoMigrationUnderContention(t *testing.T) {
+	const items = 400
+	work := queue.New[int](0)
+	counts := make([]atomic.Int32, items)
+	spec := perItemSpec(work, counts, 20*time.Microsecond)
+	e, err := New(spec, WithContexts(2),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{6}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < items/2; i++ {
+		work.Enqueue(i)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		e.SetConfig(&Config{Alt: (i + 1) % 2, Extents: []int{6}})
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := items / 2; i < items; i++ {
+		work.Enqueue(i)
+	}
+	work.Close()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactlyOnce(t, counts)
+	if e.Suspensions() == 0 {
+		t.Fatal("alt switches caused no suspensions: the drain path was not exercised")
+	}
+	if busy := e.Contexts().Busy(); busy != 0 {
+		t.Fatalf("busy = %d after Wait", busy)
+	}
+}
+
+// Watchdog token reclamation across shards: tokens acquired from one shard
+// of a multi-shard pool are reclaimed by the watchdog (to whatever shard
+// has room) while live workers keep cycling the rest. The wedged workers'
+// late Ends must be no-ops, and the final books must balance exactly.
+func TestWatchdogReclaimsTokensAcrossShards(t *testing.T) {
+	const nCtx = 8 // 8 shards: acquire and reclaim almost never hit the same one
+	hold := make(chan struct{})
+	var calls atomic.Int64
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := &NestSpec{Name: "app", Alts: []*AltSpec{{
+		Name:   "doall",
+		Stages: []StageSpec{{Name: "worker", Type: PAR, Deadline: 15 * time.Millisecond, OnFailure: FailRestart}},
+		Make: func(item any) (*AltInstance, error) {
+			return &AltInstance{Stages: []StageFns{{
+				Fn: func(w *Worker) Status {
+					if w.Suspending() {
+						return Suspended
+					}
+					_, ok, err := work.DequeueWhile(func() bool { return !w.Suspending() }, 0)
+					if errors.Is(err, queue.ErrClosed) {
+						return Finished
+					}
+					if !ok {
+						return Suspended
+					}
+					w.Begin() //dopevet:ignore suspendcheck suspension is observed via the DequeueWhile predicate
+					if c := calls.Add(1); c <= 3 {
+						//dopevet:ignore tokenhold the test wedges workers on purpose to exercise reclamation
+						<-hold // three workers wedge holding tokens
+					}
+					processed.Add(1)
+					w.End()
+					return Executing
+				},
+				Load: func() float64 { return float64(work.Len()) },
+			}}}, nil
+		},
+	}}}
+	e, err := New(spec, WithContexts(nCtx),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{8}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed continuously so survivor progress is measurable for as long as
+	// the test needs; the feeder closes the queue once told to stop.
+	var stopFeed atomic.Bool
+	go func() {
+		for i := 0; !stopFeed.Load(); i++ {
+			work.Enqueue(i)
+			if work.Len() > 512 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		work.Close()
+	}()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.TaskStalls() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalls detected = %d, want 3", e.TaskStalls())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Reclaimed tokens must keep the survivors flowing.
+	base := processed.Load()
+	for processed.Load() <= base+50 {
+		if time.Now().After(deadline) {
+			t.Fatal("survivors made no progress: reclaimed tokens unusable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(hold) // the three zombies End late, racing live traffic
+	stopFeed.Store(true)
+	if err := e.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	c := e.Contexts()
+	if c.Busy() != 0 {
+		t.Fatalf("busy = %d after Wait, late End double-released or leaked", c.Busy())
+	}
+	if c.Peak() > nCtx {
+		t.Fatalf("peak = %d exceeds pool size %d", c.Peak(), nCtx)
+	}
+}

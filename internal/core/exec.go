@@ -22,9 +22,29 @@ type Exec struct {
 	contexts *platform.Contexts
 	features *platform.Features
 	clock    platform.Clock
+	// The Begin/End hot path's clock: nowNanos returns the current time as
+	// unix nanoseconds consistent with clock.Now(). For the wall clock it
+	// reads only the runtime's monotonic counter (roughly half the cost of
+	// time.Now) and rebases it onto a wall epoch captured at construction;
+	// virtual clocks go through the slowClock func instead. When the
+	// machine's TSC passed calibration (tscclock.go), tscClock selects the
+	// cheaper raw-counter read; the flag is resolved once at construction
+	// so the hot path pays one branch, not a global lookup.
+	tscClock  bool
+	fastClock bool
+	epochUnix int64 // clock.Now().UnixNano() at construction
+	epochMono int64 // runtime nanotime() at construction
+	slowClock func() int64
 	mon      *monitor.Registry
 	interval time.Duration
 	trace    func(Event)
+	// tbuf batches trace events (trace.go): emitters enqueue, the control
+	// and watchdog ticks plus drain boundaries flush in emission order,
+	// and serve's shutdown flush runs after both tick loops have exited
+	// (loopsWG) and before doneCh closes, so Wait returns with every event
+	// delivered. Nil when no trace callback is installed.
+	tbuf    *traceBuf
+	loopsWG sync.WaitGroup
 
 	mechMu sync.RWMutex
 	mech   Mechanism
@@ -264,6 +284,9 @@ func New(root *NestSpec, opts ...Option) (*Exec, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	// Always allocated (a few hundred bytes), even with no trace callback:
+	// tests and tools may install e.trace after construction.
+	e.tbuf = new(traceBuf)
 	if e.contexts == nil {
 		e.contexts = platform.NewContexts(DefaultContexts)
 	}
@@ -283,7 +306,30 @@ func New(root *NestSpec, opts ...Option) (*Exec, error) {
 		func() float64 { return float64(e.contexts.N()) })
 	e.features.Register(platform.FeatureBusyContexts,
 		func() float64 { return float64(e.contexts.Busy()) })
+	if _, ok := e.clock.(platform.WallClock); ok {
+		calibrateTSC()
+		e.tscClock = tscOK
+		e.fastClock = true
+		e.epochUnix = time.Now().UnixNano()
+		e.epochMono = nanotime()
+	} else {
+		clk := e.clock
+		e.slowClock = func() int64 { return clk.Now().UnixNano() }
+	}
 	return e, nil
+}
+
+// nowNanos is the Begin/End hot path's clock read; see the fastClock fields
+// and tscclock.go. Preference order: calibrated TSC, runtime monotonic
+// counter rebased onto the wall epoch, then the virtual clock's func.
+func (e *Exec) nowNanos() int64 {
+	if e.tscClock {
+		return tscNow()
+	}
+	if e.fastClock {
+		return e.epochUnix + nanotime() - e.epochMono
+	}
+	return e.slowClock()
 }
 
 // Contexts returns the executive's hardware-context pool.
@@ -389,6 +435,7 @@ func (e *Exec) Start() error {
 	// reconfiguration issued immediately after Start still finds a run to
 	// suspend.
 	e.curRun.Store(&run{})
+	e.loopsWG.Add(2) // control and watchdog; serve joins them at shutdown
 	go e.serve()
 	go e.control()
 	go e.watchdog()
@@ -441,7 +488,17 @@ func (e *Exec) suspendCurrent() {
 // serve is the root task loop: spawn the root nest, and on suspension
 // respawn it under the then-current configuration.
 func (e *Exec) serve() {
-	defer close(e.doneCh)
+	defer func() {
+		// ctrlCh is already closed (the defer below runs first), so both
+		// tick loops are winding down; once they have exited no emitter
+		// but a late user-goroutine install remains, and the final flush
+		// delivers everything buffered before Wait can return.
+		e.loopsWG.Wait()
+		if e.trace != nil {
+			e.tbuf.flushFinal(e.trace)
+		}
+		close(e.doneCh)
+	}()
 	defer close(e.ctrlCh)
 	for {
 		r := e.curRun.Load()
@@ -471,6 +528,9 @@ func (e *Exec) serve() {
 			return
 		}
 		e.emit(Event{Kind: EventResume, Config: e.cfg.Load().Clone()})
+		// Drain boundary: the suspended run's buffered events (suspend,
+		// stalls, sheds, the resume above) go out before the next run's.
+		e.flushTrace()
 	}
 }
 
@@ -495,6 +555,7 @@ func (e *Exec) SetMechanism(m Mechanism) {
 // The ticker comes from the executive's clock, so under a VirtualClock the
 // control loop is driven deterministically by Advance/Set.
 func (e *Exec) control() {
+	defer e.loopsWG.Done()
 	ticker := e.clock.NewTicker(e.interval)
 	defer ticker.Stop()
 	for {
@@ -503,6 +564,11 @@ func (e *Exec) control() {
 			return
 		case <-ticker.C():
 		}
+		// Absorb the per-slot accumulators every tick so the EWMAs advance
+		// even when no mechanism or query is folding them on demand, and
+		// push out whatever the event buffer has batched since last tick.
+		e.mon.FoldAll()
+		e.flushTrace()
 		mech := e.Mechanism()
 		if mech == nil {
 			continue
@@ -645,6 +711,7 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 			altIdx: cfg.Alt, idx: i,
 			policy: policy, budget: budget, window: window,
 			deadline: deadline,
+			windowed: deadline > 0 || e.drainTimeout > 0,
 			target:   st.clampExtent(cfg.Extent(i)),
 			done:     make(chan struct{}),
 		})
@@ -704,5 +771,14 @@ func (e *Exec) emit(ev Event) {
 		return
 	}
 	ev.Time = e.Uptime()
-	e.trace(ev)
+	e.tbuf.enqueue(ev)
+}
+
+// flushTrace delivers buffered events to the trace callback in emission
+// order. Called from the control and watchdog ticks and at drain
+// boundaries; a no-op when no callback is installed.
+func (e *Exec) flushTrace() {
+	if e.trace != nil {
+		e.tbuf.flush(e.trace)
+	}
 }

@@ -130,6 +130,7 @@ func (e *Exec) recordTaskFailure(err error) {
 	}
 	e.errMu.Unlock()
 	e.emit(Event{Kind: EventError, Err: err})
+	e.flushTrace() // a fatal error must not sit in the batch buffer
 	e.Stop()
 }
 

@@ -174,6 +174,7 @@ func (e *Exec) stallInterval() time.Duration {
 // driven by its clock (a VirtualClock drives it deterministically). It
 // exits when serve does (ctrlCh closes, shared with the control loop).
 func (e *Exec) watchdog() {
+	defer e.loopsWG.Done()
 	ticker := e.clock.NewTicker(e.stallInterval())
 	defer ticker.Stop()
 	for {
@@ -183,6 +184,9 @@ func (e *Exec) watchdog() {
 		case <-ticker.C():
 		}
 		e.patrol()
+		// Stall, shed, and failure events must not wait for the (slower)
+		// control tick: a patrol that found trouble publishes it now.
+		e.flushTrace()
 	}
 }
 

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// traceShards fixes the fan-out of the event buffer. Eight matches the
+// context-pool sharding: enough that concurrent emitters (worker groups,
+// the watchdog, install callers) rarely collide on a ring lock, few enough
+// that an empty flush is a handful of uncontended lock/unlock pairs.
+const traceShards = 8
+
+// tracedEvent pairs an Event with its global emission sequence number; the
+// flusher uses the sequence to restore total emission order across shards.
+type tracedEvent struct {
+	seq uint64
+	ev  Event
+}
+
+// traceRing is one shard of the event buffer: a mutex-guarded batch that
+// emitters append to and the flusher swaps out. The slice keeps its
+// capacity across flushes, so a warmed-up ring enqueues without allocating.
+// Padded so two rings never share a cache line.
+type traceRing struct {
+	mu  sync.Mutex
+	buf []tracedEvent
+	_   [32]byte
+}
+
+// traceBuf decouples event emission from event delivery. Emitters stamp the
+// event (Time at enqueue), take a global sequence number, and append to one
+// ring — a few tens of nanoseconds, never blocking on the user's trace
+// callback. A single flusher (the control tick, the watchdog tick, drain
+// boundaries, and the final flush before Done) collects every ring, merges
+// by sequence number, and delivers strictly in emission order.
+//
+// Delivery order is exact, not best-effort: the flusher refuses to deliver
+// past a gap in the sequence. A gap means some emitter has taken a number
+// but not yet finished its append; the held-back suffix is retained and
+// delivered by the next flush, by which point the straggler's append (a few
+// instructions) has long completed. The final flush spins the collection a
+// few times so a straggler caught mid-enqueue at shutdown still gets out.
+type traceBuf struct {
+	seq    atomic.Uint64
+	shards [traceShards]traceRing
+
+	flushMu sync.Mutex    // serializes delivery; protects the fields below
+	next    uint64        // next sequence number to deliver
+	held    []tracedEvent // sorted suffix held back behind a sequence gap
+}
+
+// enqueue buffers ev for ordered delivery by the next flush.
+func (t *traceBuf) enqueue(ev Event) {
+	s := t.seq.Add(1)
+	r := &t.shards[s%traceShards]
+	r.mu.Lock()
+	r.buf = append(r.buf, tracedEvent{seq: s, ev: ev})
+	r.mu.Unlock()
+}
+
+// flush delivers every buffered event to deliver, in emission order. Safe
+// to call from any goroutine; concurrent flushes serialize.
+func (t *traceBuf) flush(deliver func(Event)) {
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+	t.collectAndDeliver(deliver)
+}
+
+// flushFinal is flush for shutdown: it re-collects while progress is being
+// made so an emitter preempted mid-enqueue still gets its event delivered
+// before Done closes. Events enqueued after the last pass (e.g. an install
+// racing Wait) are dropped, matching the pre-buffering behavior where such
+// a callback raced the caller's return from Wait anyway.
+func (t *traceBuf) flushFinal(deliver func(Event)) {
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+	for i := 0; i < 4; i++ {
+		t.collectAndDeliver(deliver)
+		if len(t.held) == 0 && t.seq.Load() < t.next {
+			return
+		}
+		runtime.Gosched() // let a straggler finish its append
+	}
+}
+
+// collectAndDeliver drains the rings into the held buffer and delivers the
+// gap-free prefix. Caller holds flushMu.
+func (t *traceBuf) collectAndDeliver(deliver func(Event)) {
+	if t.next == 0 {
+		t.next = 1
+	}
+	batch := t.held
+	for i := range t.shards {
+		r := &t.shards[i]
+		r.mu.Lock()
+		batch = append(batch, r.buf...)
+		r.buf = r.buf[:0]
+		r.mu.Unlock()
+	}
+	if len(batch) == 0 {
+		t.held = batch
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	n := 0
+	for n < len(batch) && batch[n].seq == t.next {
+		t.next++
+		n++
+	}
+	for i := 0; i < n; i++ {
+		deliver(batch[i].ev)
+	}
+	// Keep the held-back suffix (if any) without aliasing the delivered
+	// prefix, and drop large one-off batches so a burst does not pin its
+	// capacity forever.
+	rest := batch[n:]
+	if cap(batch) > 1024 {
+		t.held = append([]tracedEvent(nil), rest...)
+		return
+	}
+	copy(batch, rest)
+	t.held = batch[:len(rest)]
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// The trace buffer's contract: delivery is in exact emission (sequence)
+// order, across shards, across flushes, with concurrent emitters and a
+// concurrent flusher, and nothing enqueued before the final flush is lost.
+func TestTraceBufDeliversInEmissionOrder(t *testing.T) {
+	const emitters, perEmitter = 8, 500
+	tb := new(traceBuf)
+
+	// Each emitter tags its events (FromExtent = emitter, ToExtent =
+	// rank); per-emitter ranks must be delivered gapless and in order.
+	delivered := 0
+	lastRank := make([]int, emitters)
+	deliver := func(ev Event) {
+		delivered++
+		if ev.ToExtent != lastRank[ev.FromExtent]+1 {
+			t.Errorf("emitter %d: rank %d delivered after %d",
+				ev.FromExtent, ev.ToExtent, lastRank[ev.FromExtent])
+		}
+		lastRank[ev.FromExtent] = ev.ToExtent
+	}
+
+	stop := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tb.flush(deliver)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= perEmitter; i++ {
+				tb.enqueue(Event{Kind: EventReconfigure, FromExtent: g, ToExtent: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	flusher.Wait()
+	tb.flushFinal(deliver)
+
+	if want := emitters * perEmitter; delivered != want {
+		t.Fatalf("delivered %d events, want %d", delivered, want)
+	}
+}
+
+// A flush that catches one emitter mid-enqueue (sequence taken, append not
+// yet visible) must hold back everything after the gap, not reorder.
+func TestTraceBufHoldsBackAfterGap(t *testing.T) {
+	tb := new(traceBuf)
+	var got []EventKind
+	deliver := func(ev Event) { got = append(got, ev.Kind) }
+
+	tb.enqueue(Event{Kind: EventReconfigure}) // seq 1
+	// Simulate an in-flight enqueue: claim seq 2 without appending.
+	tb.seq.Add(1)
+	tb.enqueue(Event{Kind: EventResize}) // seq 3
+
+	tb.flush(deliver)
+	if len(got) != 1 || got[0] != EventReconfigure {
+		t.Fatalf("flush past a gap delivered %v, want only the pre-gap prefix", got)
+	}
+
+	// The straggler lands; both it and the held-back suffix now deliver.
+	r := &tb.shards[2%traceShards]
+	r.mu.Lock()
+	r.buf = append(r.buf, tracedEvent{seq: 2, ev: Event{Kind: EventSuspend}})
+	r.mu.Unlock()
+	tb.flush(deliver)
+	want := []EventKind{EventReconfigure, EventSuspend, EventResize}
+	if len(got) != 3 || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,12 @@
+#include "textflag.h"
+
+// func cputicks() int64
+// Reads the CPU's time-stamp counter. Plain RDTSC (not RDTSCP): the ~ten
+// cycles of possible out-of-order skew are far below the monitor's
+// nanosecond needs, and the serializing variant would double the cost.
+TEXT ·cputicks(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// On machines where calibration accepts the TSC, the scaled clock must agree
+// with the wall clock to well under the monitor control interval, and must
+// never run backwards between consecutive reads.
+func TestTSCClockTracksWallClock(t *testing.T) {
+	calibrateTSC()
+	if !tscOK {
+		t.Skip("TSC declined by calibration on this machine")
+	}
+	for i := 0; i < 5; i++ {
+		d := tscNow() - time.Now().UnixNano()
+		if d < 0 {
+			d = -d
+		}
+		if d > int64(50*time.Millisecond) {
+			t.Fatalf("tscNow diverges from wall clock by %v", time.Duration(d))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	prev := tscNow()
+	for i := 0; i < 100_000; i++ {
+		now := tscNow()
+		if now < prev {
+			t.Fatalf("tscNow went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+var clockSink int64
+
+func BenchmarkTscNow(b *testing.B) {
+	calibrateTSC()
+	if !tscOK {
+		b.Skip("TSC declined by calibration on this machine")
+	}
+	var x int64
+	for i := 0; i < b.N; i++ {
+		x += tscNow()
+	}
+	clockSink = x
+}
+
+func BenchmarkNanotime(b *testing.B) {
+	var x int64
+	for i := 0; i < b.N; i++ {
+		x += nanotime()
+	}
+	clockSink = x
+}

@@ -28,9 +28,19 @@ type Worker struct {
 	item  any
 	group *workerGroup
 	gslot *groupSlot
+	// windowed caches group.windowed (whether any patrol can ever abandon
+	// this group's slots); false for hand-built Workers, whose Begin/End
+	// never interact with the watchdog anyway.
+	windowed bool
+	// rec is this worker's private monitor accumulator (one per attempt);
+	// nil only for hand-built Workers in tests, which fall back to the
+	// stage's locked Observe methods.
+	rec *monitor.SlotRecorder
 
 	holding bool
-	beginAt time.Time
+	// beginNanos is the open CPU section's start in unix nanoseconds, read
+	// from exec.nowNanos (the monotonic fast path).
+	beginNanos int64
 	// began tracks an open Begin/End protocol window (set by every Begin,
 	// including one that returned Suspended without claiming a context,
 	// since drain stages may still work and End before propagating). Only
@@ -83,25 +93,32 @@ func (w *Worker) Suspending() bool {
 // Begin returns Suspended without claiming a context and the functor should
 // return Suspended at once.
 func (w *Worker) Begin() Status {
-	if w.exec.protocolCheck && w.began {
+	e := w.exec
+	if e.protocolCheck && w.began {
 		violation("Worker.Begin while the previous Begin/End section is still open (double Begin)")
 	}
 	w.began = true
 	if w.Suspending() {
 		return Suspended
 	}
-	w.exec.contexts.Acquire()
+	e.contexts.Acquire()
 	w.holding = true
-	w.beginAt = w.exec.clock.Now()
+	w.beginNanos = e.nowNanos()
 	// Open the invocation window the stall watchdog patrols. A slot
 	// abandoned between the Suspending check and here refuses the window;
 	// the worker then still owns the token (the watchdog had nothing to
-	// reclaim) and End releases it without observing the iteration.
-	w.counted = w.gslot == nil || w.gslot.openWindow(w.beginAt)
+	// reclaim) and End releases it without observing the iteration. A group
+	// no patrol can ever visit (windowed == false) skips the window CAS:
+	// abandonment is impossible there, so counted is trivially true.
+	w.counted = !w.windowed || w.gslot == nil || w.gslot.openWindow(w.beginNanos)
 	if w.counted {
 		// Tell the monitors the stage is working again, so the idle wait
 		// that just ended is excluded from the rate's next gap.
-		w.stats.ObserveBegin(w.beginAt)
+		if w.rec != nil {
+			w.rec.ObserveBegin(w.beginNanos)
+		} else {
+			w.stats.ObserveBegin(time.Unix(0, w.beginNanos))
+		}
 	}
 	return Executing
 }
@@ -110,13 +127,14 @@ func (w *Worker) Begin() Status {
 // released and the elapsed time is recorded for the monitors. Like Begin it
 // reports Suspended when the worker should stop.
 func (w *Worker) End() Status {
-	if w.exec.protocolCheck && !w.began {
+	e := w.exec
+	if e.protocolCheck && !w.began {
 		violation("Worker.End without a matching Worker.Begin")
 	}
 	w.began = false
 	if w.holding {
 		release, observe := true, w.counted
-		if w.counted && w.gslot != nil {
+		if w.windowed && w.counted && w.gslot != nil {
 			// Close the watchdog window; if the slot was abandoned while it
 			// was open, the watchdog already released the token and told the
 			// monitors the slot is gone, so this (late) End must do neither.
@@ -124,12 +142,23 @@ func (w *Worker) End() Status {
 		}
 		w.holding = false
 		if observe {
-			now := w.exec.clock.Now()
-			w.stats.ObserveIteration(now.Sub(w.beginAt), now)
-			w.stats.ObserveEnd(now)
+			now := e.nowNanos()
+			dur := now - w.beginNanos
+			if dur < 0 {
+				// Guards the monitors against a clock anomaly (e.g. a
+				// TSC that failed to stay invariant after calibration).
+				dur = 0
+			}
+			if w.rec != nil {
+				w.rec.ObserveEnd(dur, now)
+			} else {
+				t := time.Unix(0, now)
+				w.stats.ObserveIteration(time.Duration(dur), t)
+				w.stats.ObserveEnd(t)
+			}
 		}
 		if release {
-			w.exec.contexts.Release()
+			e.contexts.Release()
 		}
 	}
 	if w.Suspending() {

@@ -28,17 +28,28 @@ type groupSlot struct {
 	cancelCh   chan struct{}
 
 	// The invocation window brackets the worker's Begin..End CPU section
-	// for the stall watchdog. All transitions are under winMu so the
+	// for the stall watchdog. Its state lives in one atomic word (winState,
+	// bits below) plus the window's start time in nanoseconds, so the
 	// watchdog abandoning the slot and a late End racing it settle the
-	// platform-token and monitor accounting exactly once: if the watchdog
-	// abandons mid-window it reclaims the token itself (reclaimed), and the
-	// late End neither releases a second token nor observes the iteration.
-	winMu     sync.Mutex
-	winOpen   bool
-	winStart  time.Time
-	abandoned bool
-	reclaimed bool
+	// platform-token and monitor accounting exactly once without a lock:
+	// whichever CAS lands first — closeWindow clearing the open bit or the
+	// watchdog setting the abandoned bit — decides who owns the token. If
+	// the watchdog abandons mid-window it reclaims the token itself (the
+	// reclaimed bit), and the late End neither releases a second token nor
+	// observes the iteration. winStart is written before the open bit is
+	// set, so a patrol that sees the bit also sees a start time no older
+	// than that window's.
+	winState atomic.Uint32
+	winStart atomic.Int64 // UnixNano of the open window's Begin
 }
+
+// winState bits. abandoned is single-transition (never cleared), which is
+// what lets openWindow refuse a window on an abandoned slot without a lock.
+const (
+	winOpenBit      = 1 << iota // a Begin..End section is in flight
+	winAbandonedBit             // the stall watchdog claimed this slot
+	winReclaimedBit             // ... and it reclaimed the in-flight token
+)
 
 func (s *groupSlot) retiring() bool { return s.retire.Load() }
 
@@ -53,32 +64,59 @@ func (s *groupSlot) retireAndCancel() {
 	s.cancel()
 }
 
-// openWindow records that the slot's worker entered its CPU section at t.
-// It reports false when the slot was abandoned first — the worker then owns
-// an unaccounted token it must release itself, and the iteration must not
-// reach the monitors.
-func (s *groupSlot) openWindow(t time.Time) bool {
-	s.winMu.Lock()
-	defer s.winMu.Unlock()
-	if s.abandoned {
-		return false
+// openWindow records that the slot's worker entered its CPU section at
+// nowNanos (unix nanoseconds). It reports false when the slot was abandoned
+// first — the worker then owns an unaccounted token it must release itself,
+// and the iteration must not reach the monitors.
+func (s *groupSlot) openWindow(nowNanos int64) bool {
+	s.winStart.Store(nowNanos)
+	for {
+		w := s.winState.Load()
+		if w&winAbandonedBit != 0 {
+			return false
+		}
+		if s.winState.CompareAndSwap(w, w|winOpenBit) {
+			return true
+		}
 	}
-	s.winOpen, s.winStart = true, t
-	return true
 }
 
 // closeWindow ends the CPU section and reports whether the worker should
 // release the platform token and observe the iteration. Both are false
 // when the watchdog abandoned the slot mid-window: it already reclaimed
-// the token, and the monitors were told the slot is gone.
+// the token, and the monitors were told the slot is gone. The CAS below
+// and claimStall's CAS linearize the race: the state each one read decides
+// the accounting, so it settles exactly once no matter the interleaving.
 func (s *groupSlot) closeWindow() (release, observe bool) {
-	s.winMu.Lock()
-	defer s.winMu.Unlock()
-	s.winOpen = false
-	if s.abandoned {
-		return !s.reclaimed, false
+	for {
+		w := s.winState.Load()
+		if s.winState.CompareAndSwap(w, w&^uint32(winOpenBit)) {
+			if w&winAbandonedBit != 0 {
+				return w&winReclaimedBit == 0, false
+			}
+			return true, true
+		}
 	}
-	return true, true
+}
+
+// claimStall marks the slot abandoned and reports whether the claim won
+// (false: a previous patrol already claimed it) and whether the watchdog
+// must reclaim an in-flight token (the window was open at claim time, so
+// the racing End lost the CAS and will not release).
+func (s *groupSlot) claimStall() (claimed, reclaim bool) {
+	for {
+		w := s.winState.Load()
+		if w&winAbandonedBit != 0 {
+			return false, false
+		}
+		nw := w | winAbandonedBit
+		if w&winOpenBit != 0 {
+			nw |= winReclaimedBit
+		}
+		if s.winState.CompareAndSwap(w, nw) {
+			return true, w&winOpenBit != 0
+		}
+	}
 }
 
 // workerGroup owns the worker goroutines of one stage instance. It is the
@@ -107,6 +145,12 @@ type workerGroup struct {
 	budget   int
 	window   time.Duration
 	deadline time.Duration
+	// windowed is false when nothing can ever patrol this group's slots —
+	// no per-invocation deadline and no drain timeout — so the abandoned
+	// bit can never be set and Begin/End skip the window CASes entirely.
+	// Computed once at group creation from settings that cannot change
+	// during the group's lifetime.
+	windowed bool
 
 	mu        sync.Mutex
 	slots     []*groupSlot // live slots, including those draining a retirement
@@ -257,8 +301,12 @@ func (g *workerGroup) attempt(s *groupSlot) (st Status, p any, stack []byte) {
 	w := &Worker{
 		exec: g.exec, run: g.r, key: g.key, stats: g.stats,
 		path: g.path, top: g.top, slot: s.id, item: g.item,
-		group: g, gslot: s,
+		group: g, gslot: s, windowed: g.windowed,
+		rec: g.stats.NewSlotRecorder(),
 	}
+	// Folds the attempt's final partial batch; runs after the recover below
+	// so a panic-balancing End still lands in the accumulator.
+	defer w.rec.Release()
 	defer func() {
 		// A panicking functor must not take down the whole process (the
 		// paper's tasks are application code the runtime cannot vouch for):
@@ -341,6 +389,9 @@ func (g *workerGroup) failed(s *groupSlot, p any, stack []byte) (respawn bool) {
 		Failures: inWindow, ConsecFailures: consec,
 		Err: err, Stack: string(stack),
 	})
+	// Failures are rare and severe: deliver now rather than at the next
+	// tick, so an operator's trace shows the failure before its fallout.
+	e.flushTrace()
 
 	switch policy {
 	case FailRestart:
@@ -416,6 +467,8 @@ func (g *workerGroup) degrade(s *groupSlot) {
 		FromExtent: from, ToExtent: to,
 		Config: e.cfg.Load().Clone(), Mechanism: FailDegrade.String(),
 	})
+	// Part of the failure path: deliver with the failure, not a tick later.
+	e.flushTrace()
 }
 
 // slotExit removes s from the group and closes the group when the last slot
@@ -484,13 +537,13 @@ func (g *workerGroup) patrolDeadline(now time.Time) {
 	slots := append([]*groupSlot(nil), g.slots...)
 	g.mu.Unlock()
 	for _, s := range slots {
-		s.winMu.Lock()
-		open, start, gone := s.winOpen, s.winStart, s.abandoned
-		s.winMu.Unlock()
-		if !gone && open {
-			if age := now.Sub(start); age > g.deadline {
-				g.stalled(s, age)
-			}
+		w := s.winState.Load()
+		if w&(winOpenBit|winAbandonedBit) != winOpenBit {
+			continue
+		}
+		start := time.Unix(0, s.winStart.Load())
+		if age := now.Sub(start); age > g.deadline {
+			g.stalled(s, age)
 		}
 	}
 }
@@ -516,19 +569,12 @@ func (g *workerGroup) patrolDrain(age time.Duration) {
 // cooperative functor can unblock — and under FailRestart a replacement is
 // spawned unless the run is draining.
 func (g *workerGroup) stalled(s *groupSlot, age time.Duration) {
-	// Claim the stall first: the abandoned flag is the single-settlement
+	// Claim the stall first: the abandoned bit is the single-settlement
 	// point against both a racing late End and the next patrol tick.
-	s.winMu.Lock()
-	if s.abandoned {
-		s.winMu.Unlock()
+	claimed, reclaim := s.claimStall()
+	if !claimed {
 		return
 	}
-	s.abandoned = true
-	reclaim := s.winOpen
-	if reclaim {
-		s.reclaimed = true
-	}
-	s.winMu.Unlock()
 	s.retireAndCancel()
 
 	e := g.exec

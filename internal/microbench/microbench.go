@@ -1,0 +1,128 @@
+// Package microbench measures the executive's own per-task overhead — the
+// Begin/End hot path — outside `go test`, so cmd/dope-bench can emit a
+// benchmark trajectory file (BENCH_beginend.json) that is checked in and
+// compared across PRs. The paper's §8.2 requires DoPE's monitoring and
+// orchestration overhead to stay negligible relative to task grain; these
+// numbers are the repo's standing evidence.
+//
+// Two variants bracket the interesting regimes:
+//
+//   - BeginEnd: one worker, one hardware context — the uncontended fast
+//     path. The CI gate requires 0 allocs/op here.
+//   - BeginEndContended8: eight workers on eight contexts hammering the
+//     token pool, the per-slot monitor accumulators, and the shared stage
+//     aggregate concurrently.
+package microbench
+
+import (
+	"fmt"
+	"testing"
+
+	"dope/internal/core"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Entry is one labeled run of the whole suite — one point on the
+// trajectory.
+type Entry struct {
+	Label      string   `json:"label"`
+	Date       string   `json:"date"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// beginEndSpec builds a one-stage nest whose functor is a bare monitored
+// section: Begin immediately followed by End, iterated until every slot has
+// burned its quota. Each slot counts in its own padded plain counter so the
+// harness does not add a shared atomic RMW to every measured iteration. With
+// workers > 1 the stage is PAR and every slot crosses the token pool and the
+// monitor concurrently.
+func beginEndSpec(quota int, workers int) *core.NestSpec {
+	typ := core.SEQ
+	if workers > 1 {
+		typ = core.PAR
+	}
+	cnt := make([]struct {
+		n int
+		_ [56]byte
+	}, workers)
+	return &core.NestSpec{Name: "bench", Alts: []*core.AltSpec{{
+		Name:   "loop",
+		Stages: []core.StageSpec{{Name: "worker", Type: typ}},
+		Make: func(item any) (*core.AltInstance, error) {
+			return &core.AltInstance{Stages: []core.StageFns{{
+				Fn: func(w *core.Worker) core.Status {
+					c := &cnt[w.Slot()]
+					if c.n >= quota {
+						return core.Finished
+					}
+					c.n++
+					w.Begin() //dopevet:ignore suspendcheck benchmark runs under a static configuration; statuses are irrelevant
+					w.End()
+					return core.Executing
+				},
+			}}}, nil
+		},
+	}}}
+}
+
+func runBeginEnd(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		spec := beginEndSpec((b.N+workers-1)/workers, workers)
+		e, err := core.New(spec,
+			core.WithContexts(workers),
+			core.WithInitialConfig(&core.Config{Extents: []int{workers}}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BeginEnd runs the Begin/End suite and returns its results.
+func BeginEnd() []Result {
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"BeginEnd", 1},
+		{"BeginEndContended8", 8},
+	}
+	out := make([]Result, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(runBeginEnd(c.workers))
+		out = append(out, Result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// Gate enforces the benchmark acceptance floor: the uncontended Begin/End
+// path must be allocation-free. It returns an error naming the first
+// violation.
+func Gate(results []Result) error {
+	for _, r := range results {
+		if r.Name == "BeginEnd" && r.AllocsPerOp > 0 {
+			return fmt.Errorf("microbench: %s allocates %d objects/op, want 0 (Begin/End fast path must be allocation-free)",
+				r.Name, r.AllocsPerOp)
+		}
+	}
+	return nil
+}

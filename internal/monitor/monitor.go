@@ -8,10 +8,23 @@
 // parent's current work item), so the monitor separates durable per-stage
 // aggregates, keyed by "nest/stage", from a registry of live LoadCB
 // callbacks that is polled on demand.
+//
+// The per-task path is deliberately lock-free. Each worker slot owns a
+// SlotRecorder — a padded accumulator struct written only by that worker —
+// and the stage-wide idle state (how many Begin/End windows are open, and
+// since when none are) lives in three shared atomics. A fold, run under the
+// stage mutex by the control-loop tick and by every locked getter or
+// slow-path observer, drains the accumulators into the EWMAs using
+// watermarks, so Report() keeps its exact meaning (including the idle-rate
+// correction) while ObserveBegin/End on the worker path cost a handful of
+// atomic operations instead of three mutex sections. See DESIGN.md for the
+// memory-ordering invariants.
 package monitor
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dope/internal/stats"
@@ -23,28 +36,41 @@ type Key struct {
 	Stage string
 }
 
+// noTime marks an unset nanosecond timestamp. Zero is not usable as the
+// sentinel: virtual clocks in tests legitimately produce time.Unix(0, 0).
+const noTime = math.MinInt64
+
 // StageStats is the durable aggregate for one stage.
 type StageStats struct {
-	mu         sync.Mutex
-	execTime   *stats.EWMA // seconds per iteration, CPU section only
-	iterations uint64
-	completed  uint64 // instances that ran to Finished
-	lastAt     time.Time
-	rate       *stats.EWMA // iterations/sec from inter-completion gaps
-	execSum    float64
-
-	// Idle accounting for the rate EWMA. Rate measures how fast the stage
+	// Idle accounting for the rate EWMA, shared by all of the stage's
+	// worker slots and therefore atomic. Rate measures how fast the stage
 	// completes iterations while it is actually working; time the live
 	// workers spend with no Begin/End window open (blocked on an empty
 	// queue, waiting for sparse input) is idleness of the *workload*, not
 	// slowness of the stage, and must not be folded into the
 	// inter-completion gaps. open counts currently-open windows across the
-	// stage's workers; idleSince marks when open last dropped to zero; the
-	// accrued idle time since the previous completion is subtracted from
-	// the next gap.
-	open      int
-	idleSince time.Time
-	idleAccum time.Duration
+	// stage's workers; lastEnd is the newest window close (in UnixNano), so
+	// when open is zero it is also the moment the stage went idle; idleAccum
+	// banks the accrued idle nanoseconds, which the next completion's fold
+	// subtracts from its gap. Every ObserveEnd stores lastEnd *before* its
+	// open decrement, so the Begin whose increment raises open from zero is
+	// guaranteed to read an end-time no older than the close that emptied
+	// the stage — that pairing is what keeps each banked idle stretch exact
+	// without a lock.
+	open      atomic.Int32
+	lastEnd   atomic.Int64 // UnixNano of the newest window close; noTime if none
+	idleAccum atomic.Int64 // banked idle nanos awaiting the next completion
+	_         [40]byte     // keep the hot atomics off the mutex's cache line
+
+	mu   sync.Mutex
+	recs []*SlotRecorder // live per-slot accumulators, drained by foldLocked
+
+	execTime    *stats.EWMA // seconds per iteration, CPU section only
+	iterations  uint64
+	completed   uint64 // instances that ran to Finished
+	lastAtNanos int64  // UnixNano of the newest folded completion; noTime if none
+	rate        *stats.EWMA // iterations/sec from inter-completion gaps
+	execSum     float64
 
 	// Worker-slot lifecycle, maintained by the executive's stage worker
 	// groups. With in-place resizing the configured extent and the number
@@ -59,7 +85,7 @@ type StageStats struct {
 
 	// Failure accounting, maintained by the executive's failure policies:
 	// total functor panics absorbed, and the streak since the stage last
-	// completed an iteration (reset by ObserveIteration).
+	// completed an iteration (reset by a folded or observed completion).
 	failures   uint64
 	consecFail int
 
@@ -75,38 +101,157 @@ type StageStats struct {
 }
 
 func newStageStats(alpha float64) *StageStats {
-	return &StageStats{
+	s := &StageStats{
 		execTime: stats.NewEWMA(alpha),
 		rate:     stats.NewEWMA(alpha),
 	}
+	s.lastAtNanos = noTime
+	s.lastEnd.Store(noTime)
+	return s
+}
+
+// SlotRecorder is one worker slot's private accumulator. The owning worker
+// is the only writer of the producer fields; the stage fold reads them with
+// atomic loads and tracks how much it has already consumed in the watermark
+// fields, which only the fold (under the stage mutex) touches. The struct
+// is padded so two slots' accumulators never share a cache line.
+type SlotRecorder struct {
+	s *StageStats
+
+	// Producer fields, written only by the owning worker. The write order
+	// in ObserveEnd — execSum and the stage's lastEnd before iters — is
+	// load-bearing: a fold that reads iters first (and lastEnd after) is
+	// guaranteed to see the end-time of every completion it counts.
+	execSum atomic.Int64 // total CPU-section nanos
+	iters   atomic.Uint64
+
+	// Fold watermarks, owned by the consumer under s.mu.
+	foldedIters uint64
+	foldedExec  int64
+
+	_ [16]byte // round the struct up to a full cache line
+}
+
+// NewSlotRecorder registers and returns a fresh accumulator for one worker
+// slot. The caller must Release it when the slot's attempt ends so the
+// final partial batch is folded and the slot stops being scanned.
+func (s *StageStats) NewSlotRecorder() *SlotRecorder {
+	rec := &SlotRecorder{s: s}
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+	return rec
+}
+
+// Release folds the recorder's remaining accumulation and unregisters it.
+func (rec *SlotRecorder) Release() {
+	s := rec.s
+	s.mu.Lock()
+	s.foldLocked()
+	for i, r := range s.recs {
+		if r == rec {
+			s.recs = append(s.recs[:i], s.recs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ObserveBegin records that the slot's worker opened a Begin/End window at
+// now (UnixNano): the stage is working again, so any idle stretch that just
+// ended is banked for the next completion's gap correction. Lock-free.
+func (rec *SlotRecorder) ObserveBegin(nowNanos int64) {
+	rec.s.beginAtomic(nowNanos)
+}
+
+// ObserveEnd records one completed Begin..End section of dur nanoseconds
+// ending at now (UnixNano). It replaces the locked ObserveIteration +
+// ObserveEnd pair on the worker path: the iteration lands in the slot's
+// accumulator for the next fold, and the idle state updates atomically.
+func (rec *SlotRecorder) ObserveEnd(durNanos, nowNanos int64) {
+	rec.execSum.Add(durNanos)
+	rec.s.lastEnd.Store(nowNanos)
+	rec.iters.Add(1)
+	rec.s.open.Add(-1)
+}
+
+// beginAtomic is the shared open/idle transition for a window opening: the
+// increment that wakes an idle stage banks the idle stretch since the close
+// that emptied it.
+func (s *StageStats) beginAtomic(nowNanos int64) {
+	if s.open.Add(1) == 1 {
+		if le := s.lastEnd.Load(); le != noTime && nowNanos > le {
+			s.idleAccum.Add(nowNanos - le)
+		}
+	}
+}
+
+// endAtomic is the shared open/idle transition for a window closing.
+func (s *StageStats) endAtomic(nowNanos int64) {
+	s.lastEnd.Store(nowNanos)
+	s.open.Add(-1)
+}
+
+// foldLocked drains every live slot accumulator into the durable aggregate.
+// Callers hold s.mu. The batch of k new completions updates the EWMAs as k
+// observations of the batch mean (see stats.EWMA.ObserveBatch): for k == 1
+// — every fold triggered by a getter right after a completion, and all
+// test-driven sequences — this is bit-for-bit the per-iteration update; for
+// larger batches it is the same estimator at tick granularity. The rate
+// observation subtracts the idle time banked since the previous folded
+// completion, preserving the idle-rate correction.
+func (s *StageStats) foldLocked() {
+	var k uint64
+	var execDelta int64
+	for _, rec := range s.recs {
+		it := rec.iters.Load() // before the stage's lastEnd: see SlotRecorder ordering
+		if d := it - rec.foldedIters; d > 0 {
+			rec.foldedIters = it
+			k += d
+		}
+		if ex := rec.execSum.Load(); ex != rec.foldedExec {
+			execDelta += ex - rec.foldedExec
+			rec.foldedExec = ex
+		}
+	}
+	if k == 0 {
+		if execDelta != 0 {
+			s.execSum += float64(execDelta) / 1e9
+		}
+		return
+	}
+	// Every counted completion stored the stage's lastEnd before its iters
+	// increment, so this load (after the iters loads above) is no older than
+	// the newest completion in the batch. It may be newer — an End whose
+	// iters bump lands in the next fold — which only shifts a sliver of gap
+	// from the next batch into this one.
+	last := s.lastEnd.Load()
+	execSec := float64(execDelta) / 1e9
+	s.execSum += execSec
+	s.execTime.ObserveBatch(execSec/float64(k), k)
+	s.iterations += k
+	s.consecFail = 0
+	idle := s.idleAccum.Swap(0)
+	if s.lastAtNanos != noTime {
+		gap := float64(last-s.lastAtNanos-idle) / 1e9
+		if gap > 0 {
+			s.rate.ObserveBatch(float64(k)/gap, k)
+		}
+	}
+	s.lastAtNanos = last
 }
 
 // ObserveBegin records that a worker opened a Begin/End window at now: the
 // stage is working again, so any idle stretch that just ended is banked for
 // the next completion's gap correction.
 func (s *StageStats) ObserveBegin(now time.Time) {
-	s.mu.Lock()
-	if s.open == 0 && !s.idleSince.IsZero() {
-		if idle := now.Sub(s.idleSince); idle > 0 {
-			s.idleAccum += idle
-		}
-		s.idleSince = time.Time{}
-	}
-	s.open++
-	s.mu.Unlock()
+	s.beginAtomic(now.UnixNano())
 }
 
 // ObserveEnd records that a worker closed its Begin/End window at now; when
 // it was the last open window, the stage is idle from now on.
 func (s *StageStats) ObserveEnd(now time.Time) {
-	s.mu.Lock()
-	if s.open > 0 {
-		s.open--
-	}
-	if s.open == 0 {
-		s.idleSince = now
-	}
-	s.mu.Unlock()
+	s.endAtomic(now.UnixNano())
 }
 
 // ObserveIteration records one Begin..End section of d at time now. The
@@ -116,19 +261,21 @@ func (s *StageStats) ObserveEnd(now time.Time) {
 func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	sec := d.Seconds()
 	s.execTime.Observe(sec)
 	s.execSum += sec
 	s.iterations++
 	s.consecFail = 0
-	if !s.lastAt.IsZero() {
-		gap := (now.Sub(s.lastAt) - s.idleAccum).Seconds()
+	nowNanos := now.UnixNano()
+	idle := s.idleAccum.Swap(0)
+	if s.lastAtNanos != noTime {
+		gap := float64(nowNanos-s.lastAtNanos-idle) / 1e9
 		if gap > 0 {
 			s.rate.Observe(1 / gap)
 		}
 	}
-	s.idleAccum = 0
-	s.lastAt = now
+	s.lastAtNanos = nowNanos
 }
 
 // ObserveInstanceDone records that one instance of the stage finished.
@@ -149,11 +296,12 @@ func (s *StageStats) ObserveWorkerStart() {
 // ObserveWorkerExit records that a worker slot exited; retired says whether
 // the exit was a shrink retiring the slot (as opposed to the stage
 // finishing or the nest suspending). The live gauge drops either way, and
-// lastAt is cleared when the stage goes idle so the rate EWMA does not
-// manufacture a huge inter-completion gap (and hence a near-zero rate
+// the gap state is cleared when the stage goes idle so the rate EWMA does
+// not manufacture a huge inter-completion gap (and hence a near-zero rate
 // observation) from a retirement pause when iterations resume.
 func (s *StageStats) ObserveWorkerExit(retired bool) {
 	s.mu.Lock()
+	s.foldLocked()
 	if s.workers > 0 {
 		s.workers--
 	}
@@ -168,12 +316,13 @@ func (s *StageStats) ObserveWorkerExit(retired bool) {
 
 // resetGapLocked clears the inter-completion gap state when the stage has
 // no live workers: the next completion starts a fresh rate history instead
-// of deriving a gap from before the pause.
+// of deriving a gap from before the pause. Safe to touch the shared atomics
+// here because with zero live workers there are no producers.
 func (s *StageStats) resetGapLocked() {
-	s.lastAt = time.Time{}
-	s.idleSince = time.Time{}
-	s.idleAccum = 0
-	s.open = 0
+	s.lastAtNanos = noTime
+	s.lastEnd.Store(noTime)
+	s.idleAccum.Store(0)
+	s.open.Store(0)
 }
 
 // ObserveFailure records one functor panic absorbed by the stage and
@@ -182,6 +331,7 @@ func (s *StageStats) resetGapLocked() {
 func (s *StageStats) ObserveFailure() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	s.failures++
 	s.consecFail++
 	return s.consecFail
@@ -199,6 +349,7 @@ func (s *StageStats) Failures() uint64 {
 func (s *StageStats) ConsecutiveFailures() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	return s.consecFail
 }
 
@@ -217,10 +368,11 @@ func (s *StageStats) ObserveStall(duringDrain bool) {
 // ObserveAbandon records that the watchdog abandoned a stalled worker slot:
 // the live gauge drops (the slot no longer counts toward the stage's
 // capacity) and the zombie gauge rises until the stuck goroutine, if it
-// ever unblocks, exits. As with ObserveWorkerExit, lastAt is cleared when
-// the stage goes idle.
+// ever unblocks, exits. As with ObserveWorkerExit, the gap state is cleared
+// when the stage goes idle.
 func (s *StageStats) ObserveAbandon() {
 	s.mu.Lock()
+	s.foldLocked()
 	if s.workers > 0 {
 		s.workers--
 	}
@@ -229,8 +381,11 @@ func (s *StageStats) ObserveAbandon() {
 	// here since its late End, if any, stays invisible to the monitors. The
 	// moment idleness began is unknown, so no idle stretch is banked until
 	// the next window opens.
-	if s.open > 0 {
-		s.open--
+	for {
+		o := s.open.Load()
+		if o <= 0 || s.open.CompareAndSwap(o, o-1) {
+			break
+		}
 	}
 	if s.workers == 0 {
 		s.resetGapLocked()
@@ -324,6 +479,7 @@ func (s *StageStats) Resizes() uint64 {
 func (s *StageStats) ExecTime() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	return s.execTime.Value()
 }
 
@@ -331,6 +487,7 @@ func (s *StageStats) ExecTime() float64 {
 func (s *StageStats) MeanExecTime() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	if s.iterations == 0 {
 		return 0
 	}
@@ -342,6 +499,7 @@ func (s *StageStats) MeanExecTime() float64 {
 func (s *StageStats) Rate() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	return s.rate.Value()
 }
 
@@ -349,6 +507,7 @@ func (s *StageStats) Rate() float64 {
 func (s *StageStats) Iterations() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.foldLocked()
 	return s.iterations
 }
 
@@ -357,6 +516,15 @@ func (s *StageStats) Completed() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.completed
+}
+
+// Fold drains any per-slot accumulation into the durable aggregate. The
+// executive's control loop calls it once per tick so the EWMAs advance at
+// tick granularity even when nothing queries the stage.
+func (s *StageStats) Fold() {
+	s.mu.Lock()
+	s.foldLocked()
+	s.mu.Unlock()
 }
 
 // Registry is the process-wide monitor. Safe for concurrent use.
@@ -390,6 +558,20 @@ func (r *Registry) Stage(key Key) *StageStats {
 		r.stages[key] = s
 	}
 	return s
+}
+
+// FoldAll drains every stage's per-slot accumulators; the executive's
+// control loop runs it each tick.
+func (r *Registry) FoldAll() {
+	r.mu.Lock()
+	all := make([]*StageStats, 0, len(r.stages))
+	for _, s := range r.stages {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		s.Fold()
+	}
 }
 
 // RegisterLoad registers a live LoadCB for key and returns a handle to

@@ -12,29 +12,90 @@ import (
 // block, which is the oversubscription the Pthreads-OS baseline suffers and
 // DoPE's DoP budgeting avoids.
 //
+// The pool is two-tier. The fast tier is a set of sharded token freelists:
+// each shard packs its free-token count and its served-acquire count into
+// one atomic word, so the common-case Acquire and Release are a single CAS
+// with no lock and no allocation. The slow tier is the original mutex — it
+// is taken only when a would-be acquirer finds every shard empty and must
+// block, and it exists solely to park and wake those waiters; every token
+// transfer, including the ones that resolve a blocked Acquire, still goes
+// through the shard CAS, so the accounting getters stay exact.
+//
 // Acquire/Release are also usable in a non-blocking mode (TryAcquire) so the
 // scheduler can detect saturation without stalling.
+//
+// Tokens are not pinned to a home shard: a token taken from shard 0 may be
+// returned to shard 1. The overflow panic is therefore keyed to the global
+// invariant sum(free_i) <= n — each shard caps free_i at cap_i with
+// sum(cap_i) = n, so a Release that finds every shard at cap has proven the
+// pool already holds all n tokens, exactly the condition under which the
+// previous channel-based implementation panicked.
 type Contexts struct {
 	n      int
-	tokens chan struct{}
-	busy   atomic.Int64
+	shards []ctxShard
+	caps   []uint64 // free-token capacity per shard; sum == n
 	peak   atomic.Int64
 
-	mu          sync.Mutex
-	busyIntSum  float64 // integral of busy over acquire count, for utilization
-	acquires    uint64
-	releases    uint64
 	waitBlocked atomic.Int64 // acquirers currently blocked
+
+	mu   sync.Mutex // slow tier: parks acquirers when all shards are empty
+	cond *sync.Cond
 }
+
+// maxShards bounds the freelist fan-out. More shards spread CAS contention
+// but lengthen the worst-case probe; eight covers the machine sizes the
+// executive targets without making TryAcquire's full pass noticeable.
+const maxShards = 8
+
+// Shard word layout: low freeBits hold the shard's free-token count, the
+// remaining high bits count acquires served by this shard. One successful
+// CAS of (word - 1 + acquireInc) both takes a token and counts the acquire,
+// so the Acquires() total is exact without a second atomic op.
+const (
+	freeBits   = 20
+	freeMask   = (1 << freeBits) - 1
+	acquireInc = 1 << freeBits
+)
+
+// ctxShard is padded out to a cache line so shards never false-share, and
+// carries the occupancy integral for the acquires it served. The integral is
+// sampled at one acquire in sampleEvery rather than every acquire — the
+// sample decision falls out of the acquire counter already packed in the
+// shard word, so the common-case acquire pays no extra atomic write for it.
+type ctxShard struct {
+	word    atomic.Uint64 // packed free count + acquire count
+	busySum atomic.Int64  // sum of global busy at sampled acquires
+	samples atomic.Int64  // how many acquires were sampled
+	_       [40]byte
+}
+
+// sampleEvery subsamples the occupancy integral: shard acquire counts 1,
+// 1+sampleEvery, 1+2*sampleEvery, ... are sampled, so a shard's first acquire
+// always is (MeanOccupancy is nonzero as soon as anything was acquired).
+const sampleEvery = 8
 
 // NewContexts returns a pool of n hardware contexts. n < 1 is treated as 1.
 func NewContexts(n int) *Contexts {
 	if n < 1 {
 		n = 1
 	}
-	c := &Contexts{n: n, tokens: make(chan struct{}, n)}
-	for i := 0; i < n; i++ {
-		c.tokens <- struct{}{}
+	k := n
+	if k > maxShards {
+		k = maxShards
+	}
+	c := &Contexts{
+		n:      n,
+		shards: make([]ctxShard, k),
+		caps:   make([]uint64, k),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := 0; i < k; i++ {
+		cap := uint64(n / k)
+		if i < n%k {
+			cap++
+		}
+		c.caps[i] = cap
+		c.shards[i].word.Store(cap) // all tokens start free
 	}
 	return c
 }
@@ -42,57 +103,168 @@ func NewContexts(n int) *Contexts {
 // N returns the number of hardware contexts.
 func (c *Contexts) N() int { return c.n }
 
+// takeToken claims a token from some shard and returns the shard index.
+// One CAS attempt per shard per pass: a CAS loss means another context just
+// moved on that shard, so the probe advances rather than fighting for the
+// same cache line. A false return is a snapshot ("all shards looked empty"),
+// the same guarantee the non-blocking channel receive used to give.
+// The second return is the winning shard's pre-CAS word: it carries both the
+// free count (from which a single-shard pool derives the exact occupancy) and
+// the acquire count (which decides occupancy sampling), so noteAcquire needs
+// no extra loads beyond what the take already paid for.
+func (c *Contexts) takeToken() (shard int, prev uint64, ok bool) {
+	for i := range c.shards {
+		w := c.shards[i].word.Load()
+		if w&freeMask == 0 {
+			continue
+		}
+		if c.shards[i].word.CompareAndSwap(w, w-1+acquireInc) {
+			return i, w, true
+		}
+	}
+	return 0, 0, false
+}
+
+// putToken returns a token to the lowest shard with spare capacity. Unlike
+// takeToken it retries a shard whose CAS was lost while the shard still has
+// room: advancing only on observed-at-cap is what makes a false return a
+// proof that sum(free) == n, i.e. a genuine overflow.
+func (c *Contexts) putToken() bool {
+	for i := range c.shards {
+		for {
+			w := c.shards[i].word.Load()
+			if w&freeMask >= c.caps[i] {
+				break // shard full; try the next one
+			}
+			if c.shards[i].word.CompareAndSwap(w, w+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Acquire blocks until a context is free and claims it.
 func (c *Contexts) Acquire() {
+	if shard, prev, ok := c.takeToken(); ok {
+		c.noteAcquire(shard, prev)
+		return
+	}
+	c.acquireSlow()
+}
+
+// acquireSlow parks the caller until a token appears. Registering in
+// waitBlocked *before* the locked re-check closes the lost-wakeup window: a
+// releaser publishes its token before it reads waitBlocked, so either the
+// re-check sees the token or the releaser sees the registration and
+// broadcasts.
+func (c *Contexts) acquireSlow() {
 	c.waitBlocked.Add(1)
-	<-c.tokens
+	c.mu.Lock()
+	shard, prev, ok := c.takeToken()
+	for !ok {
+		c.cond.Wait()
+		shard, prev, ok = c.takeToken()
+	}
+	c.mu.Unlock()
 	c.waitBlocked.Add(-1)
-	c.noteAcquire()
+	c.noteAcquire(shard, prev)
 }
 
 // TryAcquire claims a context if one is free and reports whether it did.
 func (c *Contexts) TryAcquire() bool {
-	select {
-	case <-c.tokens:
-		c.noteAcquire()
+	if shard, prev, ok := c.takeToken(); ok {
+		c.noteAcquire(shard, prev)
 		return true
-	default:
-		return false
+	}
+	return false
+}
+
+// noteAcquire updates the occupancy statistics for the acquire that just
+// succeeded (prev is the winning shard's pre-CAS word). Busy is derived from
+// the shard words (n minus the free tokens), not kept as a separate counter,
+// so Release stays a single CAS. With a single shard the taking CAS's own
+// free count is the exact occupancy; with several the snapshot can sag below
+// the true concurrent occupancy when another acquire's CAS has landed but its
+// shard read here raced a release, so it is clamped to at least 1 (the
+// sampling acquirer itself holds a token). It can never exceed n because free
+// counts are nonnegative. The occupancy integral is only written for sampled
+// acquires; the peak watermark is checked on every acquire.
+func (c *Contexts) noteAcquire(shard int, prev uint64) {
+	var b int64
+	if len(c.shards) == 1 {
+		b = int64(c.n) - int64(prev&freeMask) + 1
+	} else {
+		b = c.sampleBusy()
+	}
+	if b > c.peak.Load() {
+		c.bumpPeak(b)
+	}
+	if (prev>>freeBits)%sampleEvery == 0 {
+		c.shards[shard].busySum.Add(b)
+		c.shards[shard].samples.Add(1)
 	}
 }
 
-func (c *Contexts) noteAcquire() {
-	b := c.busy.Add(1)
+// sampleBusy estimates the occupancy of a multi-shard pool for noteAcquire,
+// clamped to at least 1 (the sampling acquirer holds a token). Split out so
+// single-shard pools keep noteAcquire inlinable.
+func (c *Contexts) sampleBusy() int64 {
+	b := int64(c.n) - c.freeTokens()
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// bumpPeak raises the peak-occupancy watermark to at least b. Split out of
+// noteAcquire so the common no-new-peak path stays within the inliner's
+// budget.
+func (c *Contexts) bumpPeak(b int64) {
 	for {
 		p := c.peak.Load()
 		if b <= p || c.peak.CompareAndSwap(p, b) {
-			break
+			return
 		}
 	}
-	c.mu.Lock()
-	c.acquires++
-	c.busyIntSum += float64(b)
-	c.mu.Unlock()
+}
+
+// freeTokens sums the shards' free counts. The per-shard loads are not a
+// consistent cut, so the sum is a snapshot bounded by [0, n], exact whenever
+// the pool is quiescent.
+func (c *Contexts) freeTokens() int64 {
+	var free int64
+	for i := range c.shards {
+		free += int64(c.shards[i].word.Load() & freeMask)
+	}
+	return free
 }
 
 // Release returns a context to the pool. Releasing more than was acquired
-// panics: that is a scheduler bug, not a recoverable condition.
+// panics: that is a scheduler bug, not a recoverable condition. The check is
+// the putToken overflow proof itself — every shard at cap means all n tokens
+// are already free, so this Release has no matching Acquire.
 func (c *Contexts) Release() {
-	if c.busy.Add(-1) < 0 {
-		panic("platform: Release without matching Acquire")
+	if !c.putToken() {
+		panic(fmt.Sprintf("platform: Release without matching Acquire (context pool overflow, n=%d)", c.n))
 	}
-	c.mu.Lock()
-	c.releases++
-	c.mu.Unlock()
-	select {
-	case c.tokens <- struct{}{}:
-	default:
-		panic(fmt.Sprintf("platform: context pool overflow (n=%d)", c.n))
+	if c.waitBlocked.Load() > 0 {
+		// The broadcast must run under mu so it cannot slip between a
+		// waiter's failed re-check and its cond.Wait.
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
 	}
 }
 
 // Busy returns how many contexts are currently claimed.
-func (c *Contexts) Busy() int { return int(c.busy.Load()) }
+func (c *Contexts) Busy() int {
+	b := int64(c.n) - c.freeTokens()
+	if b < 0 {
+		b = 0
+	}
+	return int(b)
+}
 
 // Idle returns how many contexts are currently free.
 func (c *Contexts) Idle() int { return c.n - c.Busy() }
@@ -104,20 +276,26 @@ func (c *Contexts) Peak() int { return int(c.peak.Load()) }
 // persistently positive value signals oversubscription.
 func (c *Contexts) Blocked() int { return int(c.waitBlocked.Load()) }
 
-// MeanOccupancy returns the average number of busy contexts sampled at each
-// acquire, an (acquire-weighted) utilization proxy for the monitors.
+// MeanOccupancy returns the average number of busy contexts over sampled
+// acquires (one in sampleEvery per shard, always including the first), an
+// acquire-weighted utilization proxy for the monitors.
 func (c *Contexts) MeanOccupancy() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.acquires == 0 {
+	var sum, samples int64
+	for i := range c.shards {
+		sum += c.shards[i].busySum.Load()
+		samples += c.shards[i].samples.Load()
+	}
+	if samples == 0 {
 		return 0
 	}
-	return c.busyIntSum / float64(c.acquires)
+	return float64(sum) / float64(samples)
 }
 
 // Acquires returns the total number of successful acquisitions.
 func (c *Contexts) Acquires() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.acquires
+	var acquires uint64
+	for i := range c.shards {
+		acquires += c.shards[i].word.Load() >> freeBits
+	}
+	return acquires
 }

@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // EWMA is an exponentially weighted moving average. The zero value is not
 // ready for use; construct with NewEWMA. Alpha in (0, 1] weights the newest
 // observation: higher alpha reacts faster, lower alpha smooths more.
@@ -35,6 +37,26 @@ func (e *EWMA) Observe(x float64) {
 		return
 	}
 	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// ObserveBatch folds k observations of mean value x into the average in one
+// step, as if Observe(x) had been called k times: the existing value decays
+// by (1-alpha)^k and the batch mean supplies the rest of the weight. A batch
+// of one is exactly Observe. Used by the monitor's deferred fold, where the
+// control tick absorbs every iteration a worker slot accumulated since the
+// previous tick.
+func (e *EWMA) ObserveBatch(x float64, k uint64) {
+	if k == 0 {
+		return
+	}
+	if e.n == 0 {
+		e.n = k
+		e.value = x
+		return
+	}
+	e.n += k
+	w := 1 - math.Pow(1-e.alpha, float64(k))
+	e.value += w * (x - e.value)
 }
 
 // Value returns the current average, or 0 before any observation.
