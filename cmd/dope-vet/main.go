@@ -1,6 +1,6 @@
 // Command dope-vet is the static-analysis suite that enforces DoPE's
 // Begin/End token protocol (the paper's Task interface, Table 2) and the
-// configuration contracts around it. It runs seven analyzers:
+// configuration contracts around it. It runs ten analyzers:
 //
 //	beginend      Begin/End balanced on every control-flow path
 //	suspendcheck  Begin/End statuses compared against Suspended
@@ -9,6 +9,9 @@
 //	deadlinecheck deadlined stages watch Worker.Done in their loops
 //	goalcheck     goal/mechanism pairings and control intervals are sane
 //	stagealias    sibling stage functors share no aliased mutable state
+//	lockcheck     inferred mutex guards hold at every plain field access
+//	atomiccheck   no mixed sync/atomic + plain access, 64-bit alignment
+//	padcheck      cache-line padding really isolates hot atomic fields
 //
 // The analyzers summarize exported helpers as object facts (does this
 // function open a Begin/End window? block? cooperate with cancellation?)
@@ -28,6 +31,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,12 +40,15 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dope/internal/analysis/atomiccheck"
 	"dope/internal/analysis/beginend"
 	"dope/internal/analysis/deadlinecheck"
 	"dope/internal/analysis/framework"
 	"dope/internal/analysis/goalcheck"
 	"dope/internal/analysis/load"
+	"dope/internal/analysis/lockcheck"
 	"dope/internal/analysis/nestspec"
+	"dope/internal/analysis/padcheck"
 	"dope/internal/analysis/stagealias"
 	"dope/internal/analysis/suspendcheck"
 	"dope/internal/analysis/tokenhold"
@@ -56,6 +63,9 @@ func analyzers() []*framework.Analyzer {
 		deadlinecheck.Analyzer,
 		goalcheck.Analyzer,
 		stagealias.Analyzer,
+		lockcheck.Analyzer,
+		atomiccheck.Analyzer,
+		padcheck.Analyzer,
 	}
 }
 
@@ -66,6 +76,7 @@ func main() {
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for go vet)")
 	flagsJSON := flag.Bool("flags", false, "print analyzer flags in JSON (for go vet)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit NDJSON finding records (suppressed sites included) instead of text")
 	flag.Parse()
 
 	if *flagsJSON {
@@ -87,7 +98,7 @@ func main() {
 		runUnit(args[0]) // invoked by go vet; exits
 		return
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(args, *jsonOut))
 }
 
 func usage() {
@@ -95,14 +106,25 @@ func usage() {
 
 Usage:
 	dope-vet [packages]          analyze module packages (default ./...)
+	dope-vet -json [packages]    same, as NDJSON records for CI annotation
 	dope-vet -list               list analyzers
 	go vet -vettool=$(which dope-vet) ./...
 `)
 	os.Exit(2)
 }
 
+// jsonFinding is one `dope-vet -json` output record. Suppressed findings
+// are included (CI annotates them as blessed) but only live ones fail the
+// run.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // runStandalone loads module packages (tests included) and prints findings.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -141,15 +163,27 @@ func runStandalone(patterns []string) int {
 		}
 	}
 	exit := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, u := range units {
-		findings, err := framework.RunPackageFacts(l.Fset, u.Files, u.Types, u.Info, analyzers(), facts)
+		findings, err := framework.RunPackageFactsAll(l.Fset, u.Files, u.Types, u.Info, analyzers(), facts)
 		if err != nil {
 			log.Fatalf("%s: %v", u.ID, err)
 		}
 		for _, f := range findings {
-			fmt.Printf("%s:%d:%d: %s (%s)\n",
-				relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
-			exit = 1
+			pos := fmt.Sprintf("%s:%d:%d", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column)
+			if jsonOut {
+				enc.Encode(jsonFinding{
+					Analyzer:   f.Analyzer,
+					Pos:        pos,
+					Message:    f.Message,
+					Suppressed: f.Suppressed,
+				})
+			} else if !f.Suppressed {
+				fmt.Printf("%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+			}
+			if !f.Suppressed {
+				exit = 1
+			}
 		}
 	}
 	return exit

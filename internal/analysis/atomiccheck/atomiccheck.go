@@ -1,0 +1,144 @@
+// Package atomiccheck flags struct fields accessed both through sync/atomic
+// and as plain loads/stores in the same package — the mixed-access pattern
+// where the plain side silently tears or reads stale values the atomic side
+// published. Both atomic shapes count: atomic.* package functions taking
+// &field, and method calls on atomic.T-typed fields (Load/Store/Add/...).
+//
+// One plain-access class is allowed by design: a plain access while a mutex
+// of the owning struct is held (or inside a *Locked-convention function).
+// That is the documented fold idiom — hot paths publish through atomics,
+// and the control tick folds them under the stage mutex, where the lock
+// orders the fold against every other locked reader. Construction-phase
+// writes (base freshly built in the same function) are likewise exempt.
+//
+// A second rule targets 32-bit deployments: a plain int64/uint64 field used
+// with atomic.* functions must sit at an 8-byte-aligned struct offset under
+// 32-bit layout (GOARCH=386), or the atomic ops fault at runtime. Typed
+// atomics (atomic.Int64 etc.) embed their own alignment and are exempt.
+package atomiccheck
+
+import (
+	"go/types"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomiccheck",
+	Doc: "flag struct fields accessed both via sync/atomic and as plain " +
+		"loads/stores (lock-held plain access is the allowed fold idiom), and " +
+		"64-bit atomic fields not 8-byte-aligned under 32-bit struct layout",
+	Run: run,
+}
+
+// sizes32 computes struct layout as the gc compiler does on a 32-bit
+// target, where int64 fields land on 4-byte boundaries.
+var sizes32 = types.SizesFor("gc", "386")
+
+func run(pass *framework.Pass) error {
+	var accesses []lockstate.Access
+	lockstate.Collect(pass.Files, pass.TypesInfo, func(a lockstate.Access) {
+		accesses = append(accesses, a)
+	})
+
+	type fieldKey struct {
+		owner *types.TypeName
+		field *types.Var
+	}
+	atomicAt := make(map[fieldKey][]lockstate.Access)
+	plainAt := make(map[fieldKey][]lockstate.Access)
+	for _, a := range accesses {
+		if a.Owner == nil {
+			continue
+		}
+		k := fieldKey{a.Owner, a.Field}
+		if a.Atomic {
+			atomicAt[k] = append(atomicAt[k], a)
+		} else {
+			plainAt[k] = append(plainAt[k], a)
+		}
+	}
+
+	for k, plains := range plainAt {
+		atomics := atomicAt[k]
+		if len(atomics) == 0 {
+			continue
+		}
+		ownerMus := lockstate.MutexFields(k.owner.Type())
+		witness := pass.Fset.Position(atomics[0].Pos)
+		for _, a := range plains {
+			if a.CreationLocal {
+				continue
+			}
+			// The fold allowance: any owner mutex held (or the *Locked
+			// convention) orders this access against other locked readers.
+			if a.InLockedFunc || (len(ownerMus) > 0 && a.HeldAny(ownerMus)) {
+				continue
+			}
+			kind := "read"
+			if a.Write {
+				kind = "write"
+			}
+			pass.Reportf(a.Pos,
+				"plain %s of %s.%s which is also accessed atomically (e.g. %s); use sync/atomic or hold the struct's mutex",
+				kind, k.owner.Name(), k.field.Name(), witness)
+		}
+	}
+
+	// Alignment rule: plain 64-bit fields driven through atomic.* functions
+	// must be 8-byte aligned under 32-bit layout. Only this package's types
+	// are checked — the offset belongs to the declaring package.
+	checked := make(map[fieldKey]bool)
+	for k, atomics := range atomicAt {
+		if checked[k] || k.owner.Pkg() != pass.Pkg {
+			continue
+		}
+		checked[k] = true
+		if !is64BitPlain(k.field.Type()) {
+			continue
+		}
+		// Only the &field/atomic.* shape implies a plain 64-bit word; typed
+		// atomics never classify as is64BitPlain, so no shape test needed.
+		_ = atomics
+		off, ok := offset32(k.owner, k.field)
+		if !ok || off%8 == 0 {
+			continue
+		}
+		pass.Reportf(k.field.Pos(),
+			"64-bit atomic field %s.%s is at offset %d under 32-bit layout; move it first or pad to 8-byte alignment",
+			k.owner.Name(), k.field.Name(), off)
+	}
+	return nil
+}
+
+// is64BitPlain reports whether t is a plain 64-bit integer type (int64,
+// uint64, or a named type over them, e.g. time.Duration).
+func is64BitPlain(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}
+
+// offset32 computes field's byte offset inside owner's struct under 32-bit
+// gc layout.
+func offset32(owner *types.TypeName, field *types.Var) (int64, bool) {
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return 0, false
+	}
+	fields := make([]*types.Var, st.NumFields())
+	idx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = st.Field(i)
+		if st.Field(i) == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	return sizes32.Offsetsof(fields)[idx], true
+}

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", atomiccheck.Analyzer, "atomiccheck")
+}

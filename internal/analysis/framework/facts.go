@@ -96,7 +96,13 @@ func (s *FactStore) Len() int {
 	return len(s.m)
 }
 
-// Merge copies every fact of other into s, overwriting duplicates.
+// Merge unions every fact of other into s. When both stores carry a fact
+// for the same (analyzer, object) key with different payloads — two
+// dependencies each re-exported a summary for a shared import — the
+// lexicographically smaller payload wins. The rule is arbitrary but
+// commutative and associative, so the union is deterministic no matter the
+// order dependencies are merged in (the unitchecker iterates PackageVetx in
+// map order).
 func (s *FactStore) Merge(other *FactStore) {
 	if other == nil {
 		return
@@ -106,8 +112,17 @@ func (s *FactStore) Merge(other *FactStore) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, v := range other.m {
-		s.m[k] = v
+		mergeFact(s.m, k, v)
 	}
+}
+
+// mergeFact installs payload under key, resolving conflicts by the
+// smaller-payload rule shared by Merge and DecodeVetx. Callers hold s.mu.
+func mergeFact(m map[string]json.RawMessage, key string, payload json.RawMessage) {
+	if old, ok := m[key]; ok && string(old) <= string(payload) {
+		return
+	}
+	m[key] = payload
 }
 
 // vetxFile is the serialized form of a store: the format written to the
@@ -134,7 +149,8 @@ func (s *FactStore) EncodeVetx() ([]byte, error) {
 	return json.Marshal(f)
 }
 
-// DecodeVetx merges a serialized store into s. Empty input is accepted and
+// DecodeVetx merges a serialized store into s, with the same deterministic
+// smaller-payload conflict rule as Merge. Empty input is accepted and
 // contributes nothing: older drivers wrote zero-byte vetx files
 // unconditionally, and a fact-free dependency is not an error.
 func (s *FactStore) DecodeVetx(data []byte) error {
@@ -155,7 +171,7 @@ func (s *FactStore) DecodeVetx(data []byte) error {
 		if i < 0 {
 			continue
 		}
-		s.m[factKey(k[:i], k[i+1:])] = json.RawMessage(v)
+		mergeFact(s.m, factKey(k[:i], k[i+1:]), json.RawMessage(v))
 	}
 	return nil
 }

@@ -191,3 +191,100 @@ func (t T) Peek()   {}
 		t.Errorf("ObjKey(nil) should be empty")
 	}
 }
+
+// TestMergeConflictDeterministic pins the union rule: when two stores carry
+// different payloads for the same (analyzer, object) key — two dependencies
+// each summarized a shared import — the merge picks the lexicographically
+// smaller payload, so the result is identical no matter which dependency is
+// merged first.
+func TestMergeConflictDeterministic(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, _, _ := typecheck(t, fset, "example.com/helper", `package helper
+
+func Open() {}
+`)
+	open := pkg.Scope().Lookup("Open")
+
+	mk := func(w windowish) *FactStore {
+		s := NewFactStore()
+		if err := s.export("demo", open, w); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	depA := mk(windowish{Opens: true})
+	depB := mk(windowish{Closes: true})
+
+	ab := NewFactStore()
+	ab.Merge(depA)
+	ab.Merge(depB)
+	ba := NewFactStore()
+	ba.Merge(depB)
+	ba.Merge(depA)
+
+	var fromAB, fromBA windowish
+	if !ab.importInto("demo", open, &fromAB) || !ba.importInto("demo", open, &fromBA) {
+		t.Fatal("merged fact lost")
+	}
+	if fromAB != fromBA {
+		t.Fatalf("merge order changed the union: A→B gave %+v, B→A gave %+v", fromAB, fromBA)
+	}
+	if ab.Len() != 1 || ba.Len() != 1 {
+		t.Fatalf("union Len = %d/%d, want 1/1", ab.Len(), ba.Len())
+	}
+
+	// The same rule must govern the vetx decode path the unitchecker uses
+	// when it folds dependencies' files in map order.
+	encA, err := depA.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := depB.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decAB := NewFactStore()
+	if err := decAB.DecodeVetx(encA); err != nil {
+		t.Fatal(err)
+	}
+	if err := decAB.DecodeVetx(encB); err != nil {
+		t.Fatal(err)
+	}
+	decBA := NewFactStore()
+	if err := decBA.DecodeVetx(encB); err != nil {
+		t.Fatal(err)
+	}
+	if err := decBA.DecodeVetx(encA); err != nil {
+		t.Fatal(err)
+	}
+	var vAB, vBA windowish
+	if !decAB.importInto("demo", open, &vAB) || !decBA.importInto("demo", open, &vBA) {
+		t.Fatal("decoded fact lost")
+	}
+	if vAB != vBA {
+		t.Fatalf("vetx decode order changed the union: %+v vs %+v", vAB, vBA)
+	}
+	if vAB != fromAB {
+		t.Fatalf("Merge and DecodeVetx disagree on the union: %+v vs %+v", fromAB, vAB)
+	}
+
+	// Identical payloads never conflict: merging a store into itself twice
+	// is a no-op.
+	again := NewFactStore()
+	again.Merge(depA)
+	again.Merge(depA)
+	var w windowish
+	if again.Len() != 1 || !again.importInto("demo", open, &w) || !w.Opens {
+		t.Fatalf("self-merge corrupted the store: Len=%d fact=%+v", again.Len(), w)
+	}
+
+	// Re-export by the same analyzer still overwrites: the conflict rule is
+	// for cross-store unions, not for a pass refining its own summary.
+	refined := mk(windowish{Opens: true})
+	if err := refined.export("demo", open, windowish{Opens: true, Closes: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !refined.importInto("demo", open, &w) || !w.Closes {
+		t.Fatalf("re-export did not overwrite: %+v", w)
+	}
+}

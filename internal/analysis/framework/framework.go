@@ -87,6 +87,10 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding silenced by a //dopevet:ignore comment;
+	// only RunPackageFactsAll returns such findings (for reporting modes
+	// that show blessed sites), the plain runners drop them.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -106,6 +110,21 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 // exported into facts, and export their own for packages analyzed later. A
 // nil store degrades to intra-package analysis.
 func RunPackageFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
+	all, err := RunPackageFactsAll(fset, files, pkg, info, analyzers, facts)
+	findings := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			findings = append(findings, f)
+		}
+	}
+	return findings, err
+}
+
+// RunPackageFactsAll is RunPackageFacts without the suppression filter:
+// findings silenced by //dopevet:ignore comments are returned too, marked
+// Suppressed, so reporting modes (dope-vet -json) can show blessed sites
+// alongside live ones.
+func RunPackageFactsAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
 	sup := collectSuppressions(fset, files)
 	var findings []Finding
 	seen := make(map[string]bool)
@@ -122,15 +141,17 @@ func RunPackageFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 		}
 		pass.Report = func(d Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if sup.suppressed(a.Name, pos) {
-				return
-			}
 			key := fmt.Sprintf("%s|%s|%s", a.Name, pos, d.Message)
 			if seen[key] {
 				return
 			}
 			seen[key] = true
-			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			findings = append(findings, Finding{
+				Analyzer:   a.Name,
+				Pos:        pos,
+				Message:    d.Message,
+				Suppressed: sup.suppressed(a.Name, pos),
+			})
 		}
 		if err := a.Run(pass); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("%s: %w", a.Name, err)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"dope/internal/analysis/framework"
+	"dope/internal/analysis/load"
 	"dope/internal/analysis/protocol"
 )
 
@@ -304,29 +305,32 @@ func isMechanismsVar(info *types.Info, e ast.Expr) bool {
 }
 
 // foldDuration evaluates the interval argument to a time.Duration when that
-// is statically sound. Three shapes fold: a constant expression (a literal
-// product like 2*time.Millisecond, or a named constant — the type checker
-// has already folded both), and a single-assignment local whose one
-// initializer is such a constant. A local that is ever reassigned, or whose
-// address escapes, stays outside static reach.
+// is statically sound: any expression load.FoldConst can fold — constant
+// arithmetic the type checker already collapsed, plus arithmetic over
+// single-assignment locals whose initializers fold recursively
+// (`base := 50 * time.Millisecond; iv := base / 2`). The resolver admits
+// only function-scope locals of this package that singleInit proves
+// single-valued and unescaped; each variable is resolved at most once,
+// which also breaks reference cycles.
 func foldDuration(pass *framework.Pass, e ast.Expr) (time.Duration, bool) {
-	if d, ok := durationConst(pass.TypesInfo, e); ok {
-		return d, true
+	seen := make(map[*types.Var]bool)
+	resolve := func(v *types.Var) ast.Expr {
+		if seen[v] || v.IsField() || v.Pkg() != pass.Pkg ||
+			v.Parent() == pass.Pkg.Scope() {
+			return nil
+		}
+		seen[v] = true
+		return singleInit(pass, v)
 	}
-	id, ok := ast.Unparen(e).(*ast.Ident)
+	val, ok := load.FoldConst(pass.TypesInfo, e, resolve)
 	if !ok {
 		return 0, false
 	}
-	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
-	if !ok || v.IsField() || v.Pkg() != pass.Pkg ||
-		v.Parent() == pass.Pkg.Scope() {
+	i, ok := constant.Int64Val(constant.ToInt(val))
+	if !ok {
 		return 0, false
 	}
-	init := singleInit(pass, v)
-	if init == nil {
-		return 0, false
-	}
-	return durationConst(pass.TypesInfo, init)
+	return time.Duration(i), true
 }
 
 // singleInit returns the sole expression ever assigned to the local v, or
@@ -397,19 +401,6 @@ func singleInit(pass *framework.Pass, v *types.Var) ast.Expr {
 		return nil
 	}
 	return init
-}
-
-// durationConst evaluates a constant time.Duration expression.
-func durationConst(info *types.Info, e ast.Expr) (time.Duration, bool) {
-	tv, ok := info.Types[ast.Unparen(e)]
-	if !ok || tv.Value == nil {
-		return 0, false
-	}
-	v, ok := constant.Int64Val(tv.Value)
-	if !ok {
-		return 0, false
-	}
-	return time.Duration(v), true
 }
 
 // floatConst evaluates a constant float expression.

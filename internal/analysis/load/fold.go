@@ -1,0 +1,124 @@
+// Const-expression folding over syntax the type checker left unfolded.
+//
+// The type checker records a constant.Value for every expression built
+// purely from constants (2*time.Millisecond, named consts, conversions of
+// both), so analyzers get those for free from types.Info. What it cannot
+// fold is arithmetic over *variables* whose value is nevertheless statically
+// known to the analyzer — `base := 50 * time.Millisecond; iv := base / 2` —
+// because variable provenance (single assignment, no escape) is the
+// analyzer's knowledge, not the type system's. FoldConst closes that gap:
+// it re-folds binary/unary arithmetic and conversions, delegating variable
+// references to a caller-supplied resolver that encodes the analyzer's
+// soundness rules.
+package load
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FoldConst evaluates e to a constant when statically sound. It folds
+// everything the type checker already folded (the fast path), plus binary
+// arithmetic (including shifts and comparisons), unary +/-/^, parentheses,
+// type conversions, references to declared constants, and — through resolve
+// — references to variables the caller can prove single-valued. resolve
+// receives each variable encountered and returns its sole initializer
+// expression, or nil to declare the variable unfoldable; the initializer is
+// folded recursively, so resolve must perform its own cycle-breaking (the
+// callback observing each variable at most once is sufficient). A nil
+// resolve folds pure-constant syntax only.
+//
+// Integer division folds with Go's truncating semantics; division by zero,
+// kind mismatches, and oversized shifts simply fail the fold rather than
+// being reported — an unfoldable expression is "not statically decidable",
+// never an error.
+func FoldConst(info *types.Info, e ast.Expr, resolve func(*types.Var) ast.Expr) (val constant.Value, ok bool) {
+	// go/constant panics on mixed kinds and absurd shifts instead of
+	// returning Unknown; treat any panic as "does not fold".
+	defer func() {
+		if recover() != nil || val == nil || val.Kind() == constant.Unknown {
+			val, ok = nil, false
+		}
+	}()
+
+	e = ast.Unparen(e)
+	if tv, found := info.Types[e]; found && tv.Value != nil {
+		return tv.Value, true
+	}
+
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		x, okx := FoldConst(info, e.X, resolve)
+		y, oky := FoldConst(info, e.Y, resolve)
+		if !okx || !oky {
+			return nil, false
+		}
+		switch e.Op {
+		case token.SHL, token.SHR:
+			s, exact := constant.Uint64Val(constant.ToInt(y))
+			if !exact {
+				return nil, false
+			}
+			return constant.Shift(x, e.Op, uint(s)), true
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return constant.MakeBool(constant.Compare(x, e.Op, y)), true
+		case token.QUO:
+			if x.Kind() == constant.Int && y.Kind() == constant.Int {
+				// Integer operands divide with truncation: the QUO_ASSIGN
+				// token is go/constant's spelling of Go's integer division.
+				return constant.BinaryOp(x, token.QUO_ASSIGN, y), true
+			}
+			return constant.BinaryOp(x, token.QUO, y), true
+		default:
+			return constant.BinaryOp(x, e.Op, y), true
+		}
+	case *ast.UnaryExpr:
+		x, okx := FoldConst(info, e.X, resolve)
+		if !okx {
+			return nil, false
+		}
+		switch e.Op {
+		case token.ADD, token.SUB, token.XOR, token.NOT:
+			return constant.UnaryOp(e.Op, x, 0), true
+		}
+		return nil, false
+	case *ast.Ident:
+		return foldObj(info, info.Uses[e], resolve)
+	case *ast.SelectorExpr:
+		return foldObj(info, info.Uses[e.Sel], resolve)
+	case *ast.CallExpr:
+		// A conversion T(x): fold the operand. Duration-style integer
+		// conversions are value-preserving on already-integral constants;
+		// anything that would truncate fails inside go/constant or at the
+		// caller's Int64Val.
+		if len(e.Args) != 1 {
+			return nil, false
+		}
+		if tv, found := info.Types[e.Fun]; !found || !tv.IsType() {
+			return nil, false
+		}
+		return FoldConst(info, e.Args[0], resolve)
+	}
+	return nil, false
+}
+
+// foldObj folds a named reference: a declared constant directly, a variable
+// through the caller's resolver.
+func foldObj(info *types.Info, obj types.Object, resolve func(*types.Var) ast.Expr) (constant.Value, bool) {
+	switch obj := obj.(type) {
+	case *types.Const:
+		return obj.Val(), true
+	case *types.Var:
+		if resolve == nil {
+			return nil, false
+		}
+		init := resolve(obj)
+		if init == nil {
+			return nil, false
+		}
+		return FoldConst(info, init, resolve)
+	}
+	return nil, false
+}

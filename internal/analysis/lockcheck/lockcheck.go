@@ -1,0 +1,149 @@
+// Package lockcheck infers which mutex guards each struct field and flags
+// accesses that bypass the guard. The discipline is inferred, not declared:
+// if any function writes a field while holding a sync.Mutex/sync.RWMutex
+// belonging to the same struct, the field is guarded by that mutex, and
+// every other plain (non-atomic) access — read or write — must hold it too.
+//
+// The inference deliberately ignores three access classes, both when
+// learning guards and when flagging:
+//
+//   - sync/atomic accesses (atomic.T method calls, &field passed to
+//     atomic.* functions): atomics are their own synchronization, and a
+//     lock-held atomic store (common in fold/reset paths) must not teach
+//     the analyzer that the field needs the lock elsewhere;
+//   - construction-phase writes, where the base is a local freshly built
+//     from a composite literal or new() in the same function — the value
+//     cannot be shared yet;
+//   - functions whose name ends in "Locked", the repo convention for
+//     "caller holds the receiver's mutex": their accesses count as held.
+//
+// Guards are exported as GuardFacts on the struct's *types.TypeName through
+// the vetx fact store, so a package that imports a guarded type is checked
+// against the discipline its home package established.
+package lockcheck
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockcheck",
+	Doc: "infer per-field mutex guards (a field written under a struct's mutex " +
+		"in any function is guarded) and flag plain accesses that do not hold " +
+		"the guard; sync/atomic accesses, construction-phase writes, and " +
+		"*Locked-convention functions are exempt",
+	Run: run,
+}
+
+// GuardFact is lockcheck's per-type summary, exported on the struct's
+// *types.TypeName: field name → sorted names of the mutex fields observed
+// guarding its writes.
+type GuardFact struct {
+	Guards map[string][]string `json:"guards"`
+}
+
+func run(pass *framework.Pass) error {
+	var accesses []lockstate.Access
+	lockstate.Collect(pass.Files, pass.TypesInfo, func(a lockstate.Access) {
+		accesses = append(accesses, a)
+	})
+
+	// Pass 1: learn guards from plain writes of this package's own types. A
+	// write observed under several mutexes of the owner struct contributes
+	// them all; holding any one of them later satisfies the guard (the
+	// lenient rule — multi-mutex structs split their fields, and a stricter
+	// intersection would need write-site pairing we cannot prove).
+	guards := make(map[*types.TypeName]map[string]map[string]bool)
+	for _, a := range accesses {
+		if a.Owner == nil || a.Owner.Pkg() != pass.Pkg {
+			continue
+		}
+		if !a.Write || a.Atomic || a.CreationLocal || a.InLockedFunc || len(a.Held) == 0 {
+			continue
+		}
+		byField := guards[a.Owner]
+		if byField == nil {
+			byField = make(map[string]map[string]bool)
+			guards[a.Owner] = byField
+		}
+		set := byField[a.Field.Name()]
+		if set == nil {
+			set = make(map[string]bool)
+			byField[a.Field.Name()] = set
+		}
+		for _, m := range a.Held {
+			set[m] = true
+		}
+	}
+
+	// Resolve the guard table for an owner type: local inference for this
+	// package's types, imported GuardFacts for everyone else's.
+	imported := make(map[*types.TypeName]map[string][]string)
+	guardsOf := func(owner *types.TypeName) map[string][]string {
+		if owner.Pkg() == pass.Pkg {
+			byField := guards[owner]
+			if byField == nil {
+				return nil
+			}
+			out := make(map[string][]string, len(byField))
+			for f, set := range byField {
+				out[f] = sortedKeys(set)
+			}
+			return out
+		}
+		if g, ok := imported[owner]; ok {
+			return g
+		}
+		var fact GuardFact
+		if pass.ImportObjectFact(owner, &fact) {
+			imported[owner] = fact.Guards
+		} else {
+			imported[owner] = nil
+		}
+		return imported[owner]
+	}
+
+	// Pass 2: flag plain accesses of guarded fields that hold no guard. A
+	// base that did not render is skipped — lock matching could not have
+	// succeeded, and flagging on ignorance would drown real findings.
+	for _, a := range accesses {
+		if a.Owner == nil || a.Atomic || a.CreationLocal || a.Base == "" {
+			continue
+		}
+		g := guardsOf(a.Owner)
+		names := g[a.Field.Name()]
+		if len(names) == 0 || a.HeldAny(names) {
+			continue
+		}
+		kind := "read"
+		if a.Write {
+			kind = "write"
+		}
+		pass.Reportf(a.Pos, "%s of %s.%s without holding %s (field is mutex-guarded)",
+			kind, a.Owner.Name(), a.Field.Name(), strings.Join(names, "/"))
+	}
+
+	// Export facts for this package's guarded types.
+	for owner, byField := range guards {
+		fact := GuardFact{Guards: make(map[string][]string, len(byField))}
+		for f, set := range byField {
+			fact.Guards[f] = sortedKeys(set)
+		}
+		pass.ExportObjectFact(owner, fact)
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

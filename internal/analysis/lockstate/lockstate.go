@@ -1,0 +1,712 @@
+// Package lockstate is the shared concurrency-discipline front end for the
+// lockcheck and atomiccheck analyzers: it walks every function of a package
+// and reports each struct-field access together with the synchronization
+// context the access runs under — which mutexes of the field's owner struct
+// are held (tracked through Lock/Unlock/RLock/RUnlock calls and deferred
+// unlocks), whether the access goes through sync/atomic (an atomic.T method
+// call or an &field handed to an atomic.* function), whether the enclosing
+// function's name declares a lock-held calling convention (a "...Locked"
+// suffix), and whether the base value was just constructed locally (the
+// single-goroutine initialization phase before the struct escapes).
+//
+// The held-lock tracking is a deliberately simple abstract interpretation
+// over the statement structure: sequential statements thread the lock set
+// through; branches fork it and re-join on the intersection of the arms that
+// fall through (a branch ending in return/panic/break does not constrain the
+// join); function literals start from an empty lock set, because a closure
+// may run on another goroutine or after the region ends. Lock identity is
+// the rendered base expression plus the mutex field name ("g.mu",
+// "c.shards[i].mu"), so aliases through different spellings are not unified
+// — callers should treat a missing Held entry as "not proven held", never
+// as "proven unheld with certainty".
+package lockstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Access is one read or write of a struct field, with its context.
+type Access struct {
+	// Field is the accessed field object.
+	Field *types.Var
+	// Owner is the named type the field was selected from, nil when the
+	// receiver type is unnamed or unresolvable.
+	Owner *types.TypeName
+	// Base is the rendered receiver expression ("g", "c.shards[i]"); empty
+	// when the receiver does not render (held-lock matching then fails
+	// conservatively).
+	Base string
+	// Pos is the access position.
+	Pos token.Pos
+	// Write reports whether the access stores to the field (assignment,
+	// ++/--, or taking its address outside an atomic call).
+	Write bool
+	// Atomic reports whether the access goes through sync/atomic: a method
+	// call on an atomic.T-typed field, or &field passed to an atomic.*
+	// function.
+	Atomic bool
+	// Held lists the mutex fields of the owner struct that are held through
+	// the same base at this point ("mu", "flushMu").
+	Held []string
+	// InLockedFunc reports whether the enclosing function's name ends in
+	// "Locked" — the repo-wide convention for "caller holds the receiver's
+	// mutex"; such accesses count as held under every owner mutex.
+	InLockedFunc bool
+	// CreationLocal reports whether the base is a local variable that was
+	// initialized from a composite literal or new() in the same function:
+	// the construction phase, before the value can be shared.
+	CreationLocal bool
+}
+
+// HeldAny reports whether the access runs under one of the given mutex
+// names, counting the ...Locked calling convention as holding all of them.
+func (a Access) HeldAny(names []string) bool {
+	if a.InLockedFunc {
+		return true
+	}
+	for _, n := range names {
+		for _, h := range a.Held {
+			if h == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MutexFields returns the names of t's sync.Mutex / sync.RWMutex fields;
+// t may be a pointer. Nil or non-struct types return nothing.
+func MutexFields(t types.Type) []string {
+	st := structOf(t)
+	if st == nil {
+		return nil
+	}
+	var names []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if IsMutexType(f.Type()) {
+			names = append(names, f.Name())
+		}
+	}
+	return names
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// IsAtomicType reports whether t is one of sync/atomic's value types
+// (atomic.Bool, atomic.Int64, atomic.Pointer[T], ...).
+func IsAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// structOf unwraps pointers and names down to a struct type, or nil.
+func structOf(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// Collect walks every function declaration in files and invokes emit for
+// each struct-field access, in source order within each function.
+func Collect(files []*ast.File, info *types.Info, emit func(Access)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{
+				info:     info,
+				emit:     emit,
+				inLocked: strings.HasSuffix(fd.Name.Name, "Locked"),
+				creation: make(map[types.Object]bool),
+			}
+			w.findCreations(fd.Body)
+			w.stmts(fd.Body.List, make(lockSet))
+		}
+	}
+}
+
+// lockSet maps "base\x00mutexField" → held.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the locks held in both sets.
+func intersect(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k, v := range a {
+		if v && b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type walker struct {
+	info     *types.Info
+	emit     func(Access)
+	inLocked bool
+	// creation marks local variables initialized from a composite literal or
+	// new() in this function: accesses through them are construction-phase.
+	creation map[types.Object]bool
+}
+
+// findCreations records locals assigned a fresh composite literal / new(T)
+// anywhere in the body. Assignment position is not checked — a local that
+// is fresh anywhere in the function is treated as construction-phase
+// throughout, which trades a sliver of soundness for a much simpler rule.
+func (w *walker) findCreations(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if isFreshValue(w.info, as.Rhs[i]) {
+				w.creation[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// isFreshValue reports whether e constructs a brand-new value: a composite
+// literal, &literal, or new(T).
+func isFreshValue(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmts walks a statement list, threading the lock set through, and returns
+// the exit state plus whether control always leaves the list early (return,
+// panic, break, continue, goto).
+func (w *walker) stmts(list []ast.Stmt, held lockSet) (out lockSet, terminated bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *walker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, locks, ok := w.lockEvent(s.X); ok {
+			// The Lock()/Unlock() call itself is synchronization, not a
+			// guarded-field access; only the state changes.
+			held = held.clone()
+			held[key] = locks
+			return held, false
+		}
+		w.expr(s.X, held, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, held, false)
+		}
+		for _, l := range s.Lhs {
+			w.exprWrite(l, held)
+		}
+	case *ast.IncDecStmt:
+		w.exprWrite(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock runs at function exit: the lock stays held for
+		// the remaining statements. Other deferred calls have their
+		// arguments evaluated now; a deferred closure body runs later, with
+		// no lock provably held.
+		if _, _, ok := w.lockEvent(s.Call); ok {
+			return held, false
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held, false)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(lockSet))
+		} else {
+			w.expr(s.Call.Fun, held, false)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, held, false)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(lockSet))
+		} else {
+			w.expr(s.Call.Fun, held, false)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, held, false)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; their exit state does not
+		// constrain the fall-through join.
+		return held, true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held, false)
+		thenOut, thenTerm := w.stmts(s.Body.List, held.clone())
+		var arms []lockSet
+		if !thenTerm {
+			arms = append(arms, thenOut)
+		}
+		if s.Else != nil {
+			elseOut, elseTerm := w.stmt(s.Else, held.clone())
+			if !elseTerm {
+				arms = append(arms, elseOut)
+			}
+		} else {
+			arms = append(arms, held)
+		}
+		return joinArms(held, arms), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held, false)
+		}
+		bodyOut, bodyTerm := w.stmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, bodyOut)
+		}
+		if s.Cond == nil && !bodyTerm {
+			// for{} without a reachable exit: the code after is only reached
+			// via break paths, whose state we do not track.
+			return held, false
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyOut), false
+	case *ast.RangeStmt:
+		w.expr(s.X, held, false)
+		bodyOut, bodyTerm := w.stmts(s.Body.List, held.clone())
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyOut), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held, false)
+		}
+		return w.clauses(s.Body.List, held), false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		return w.clauses(s.Body.List, held), false
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, held), false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held, false)
+		w.expr(s.Value, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held, false)
+					}
+				}
+			}
+		}
+	}
+	return held, false
+}
+
+// clauses walks switch/select case bodies and joins their exits.
+func (w *walker) clauses(list []ast.Stmt, held lockSet) lockSet {
+	var arms []lockSet
+	for _, cl := range list {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.expr(e, held, false)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				w.stmt(cl.Comm, held.clone())
+			}
+			body = cl.Body
+		}
+		out, term := w.stmts(body, held.clone())
+		if !term {
+			arms = append(arms, out)
+		}
+	}
+	// A switch may match no case; the pre-state always joins.
+	arms = append(arms, held)
+	return joinArms(held, arms)
+}
+
+func joinArms(pre lockSet, arms []lockSet) lockSet {
+	if len(arms) == 0 {
+		return pre
+	}
+	out := arms[0]
+	for _, a := range arms[1:] {
+		out = intersect(out, a)
+	}
+	return out
+}
+
+// lockEvent recognizes base.mu.Lock() / Unlock() / RLock() / RUnlock()
+// where mu is a sync.Mutex or sync.RWMutex field; it returns the lock-set
+// key and the new held value.
+func (w *walker) lockEvent(e ast.Expr) (key string, locked, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locked = true
+	case "Unlock", "RUnlock":
+		locked = false
+	default:
+		return "", false, false
+	}
+	muSel, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fieldObj := w.fieldOf(muSel)
+	if fieldObj == nil || !IsMutexType(fieldObj.Type()) {
+		return "", false, false
+	}
+	base, rok := render(muSel.X)
+	if !rok {
+		return "", false, false
+	}
+	return base + "\x00" + fieldObj.Name(), locked, true
+}
+
+// expr walks an expression emitting accesses; write marks the outermost
+// selector as a store target.
+func (w *walker) expr(e ast.Expr, held lockSet, write bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.expr(e.X, held, write)
+	case *ast.SelectorExpr:
+		w.access(e, held, write, false)
+		// Base expressions may themselves contain accesses (x.a.b reads a);
+		// handled inside access.
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.StarExpr:
+		w.expr(e.X, held, write)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+				// &x.f: address escape — a write-capable access unless it
+				// feeds an atomic call, which the CallExpr case intercepts.
+				w.access(sel, held, true, false)
+				return
+			}
+		}
+		w.expr(e.X, held, write)
+	case *ast.CallExpr:
+		if w.atomicCall(e, held) {
+			return
+		}
+		w.expr(e.Fun, held, false)
+		for _, a := range e.Args {
+			w.expr(a, held, false)
+		}
+	case *ast.FuncLit:
+		// A closure may run on another goroutine or after the locked region
+		// ends; prove nothing about held locks inside it.
+		sub := &walker{info: w.info, emit: w.emit, inLocked: false, creation: w.creation}
+		sub.findCreations(e.Body)
+		sub.stmts(e.Body.List, make(lockSet))
+	case *ast.BinaryExpr:
+		w.expr(e.X, held, false)
+		w.expr(e.Y, held, false)
+	case *ast.IndexExpr:
+		w.expr(e.X, held, write)
+		w.expr(e.Index, held, false)
+	case *ast.IndexListExpr:
+		w.expr(e.X, held, write)
+	case *ast.SliceExpr:
+		w.expr(e.X, held, write)
+		w.expr(e.Low, held, false)
+		w.expr(e.High, held, false)
+		w.expr(e.Max, held, false)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value, held, false)
+				continue
+			}
+			w.expr(el, held, false)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, held, false)
+	}
+}
+
+// exprWrite emits the outermost selector of an assignment target as a write
+// and everything below it as reads.
+func (w *walker) exprWrite(e ast.Expr, held lockSet) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		w.access(t, held, true, false)
+	case *ast.IndexExpr:
+		// x.f[i] = v writes through f; treat the selector as written.
+		w.expr(t.Index, held, false)
+		if sel, ok := ast.Unparen(t.X).(*ast.SelectorExpr); ok {
+			w.access(sel, held, true, false)
+			return
+		}
+		w.expr(t.X, held, false)
+	case *ast.StarExpr:
+		w.expr(t.X, held, false)
+	default:
+		w.expr(e, held, false)
+	}
+}
+
+// atomicCall recognizes the two sync/atomic access shapes and emits their
+// field accesses as atomic; it reports whether e was such a call.
+func (w *walker) atomicCall(e *ast.CallExpr, held lockSet) bool {
+	fun, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Shape 1: x.f.Load()/Store()/Add()/Swap()/CompareAndSwap() on an
+	// atomic.T field.
+	if recvSel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+		if f := w.fieldOf(recvSel); f != nil && IsAtomicType(f.Type()) {
+			w.access(recvSel, held, false, true)
+			for _, a := range e.Args {
+				w.expr(a, held, false)
+			}
+			return true
+		}
+	}
+	// Shape 2: atomic.AddInt64(&x.f, 1) and friends.
+	if pkgID, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+		if pn, ok := w.info.Uses[pkgID].(*types.PkgName); ok &&
+			pn.Imported().Path() == "sync/atomic" {
+			for _, a := range e.Args {
+				if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						if f := w.fieldOf(sel); f != nil {
+							w.access(sel, held, false, true)
+							continue
+						}
+					}
+				}
+				w.expr(a, held, false)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// access resolves one selector to a struct field and emits it; the base
+// expression is then walked for nested accesses.
+func (w *walker) access(sel *ast.SelectorExpr, held lockSet, write, atomic bool) {
+	f := w.fieldOf(sel)
+	if f == nil {
+		// Not a field (method value, package member): still walk the base.
+		w.expr(sel.X, held, false)
+		return
+	}
+	owner := w.ownerOf(sel)
+	base, baseOK := render(sel.X)
+	var heldNames []string
+	creation := false
+	if baseOK {
+		var ownerType types.Type
+		if s := w.info.Selections[sel]; s != nil {
+			ownerType = s.Recv()
+		}
+		for _, m := range MutexFields(ownerType) {
+			if held[base+"\x00"+m] {
+				heldNames = append(heldNames, m)
+			}
+		}
+	}
+	if root := rootObj(w.info, sel.X); root != nil && w.creation[root] {
+		creation = true
+	}
+	w.emit(Access{
+		Field:         f,
+		Owner:         owner,
+		Base:          base,
+		Pos:           sel.Sel.Pos(),
+		Write:         write,
+		Atomic:        atomic,
+		Held:          heldNames,
+		InLockedFunc:  w.inLocked,
+		CreationLocal: creation,
+	})
+	w.expr(sel.X, held, false)
+}
+
+// fieldOf resolves a selector to the struct-field object it names, or nil.
+func (w *walker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s := w.info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// ownerOf resolves the named type a field selector goes through, or nil.
+func (w *walker) ownerOf(sel *ast.SelectorExpr) *types.TypeName {
+	s := w.info.Selections[sel]
+	if s == nil {
+		return nil
+	}
+	if n := namedOf(s.Recv()); n != nil {
+		return n.Obj()
+	}
+	return nil
+}
+
+// rootObj returns the object of the leftmost identifier of a selector base.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// render spells a base expression as a canonical string, or fails for
+// shapes (calls, complex indexes) whose identity is not stable.
+func render(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		return "*" + base, true
+	case *ast.IndexExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		switch idx := ast.Unparen(e.Index).(type) {
+		case *ast.Ident:
+			return base + "[" + idx.Name + "]", true
+		case *ast.BasicLit:
+			return base + "[" + idx.Value + "]", true
+		}
+		return "", false
+	}
+	return "", false
+}

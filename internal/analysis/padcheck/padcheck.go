@@ -1,0 +1,187 @@
+// Package padcheck verifies that cache-line padding does what its author
+// believed. A struct that carries a blank `_ [N]byte` padding array has
+// opted into manual 64-byte layout, and the analyzer holds it to three
+// rules, computed under 64-bit gc struct layout:
+//
+//  1. every padding array must end exactly on a 64-byte boundary — a pad
+//     sized against a stale field list leaves the "isolated" fields
+//     sharing their line with whatever follows;
+//  2. a padded struct used as an array or slice element must have a total
+//     size that is a multiple of 64, or consecutive elements shift against
+//     line boundaries and the padding isolates nothing;
+//  3. in a padded array/slice element type — the sharded/per-slot shape —
+//     two sync/atomic fields inside one 64-byte line ping-pong the line
+//     between the cores that own neighboring slots: a false-sharing
+//     finding, reported once per overcrowded line.
+//
+// Unpadded structs are never checked: the opt-in is the padding array
+// itself, so ordinary structs that happen to hold atomics stay silent.
+package padcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dope/internal/analysis/framework"
+	"dope/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "padcheck",
+	Doc: "verify cache-line padding arrays: pads must end on 64-byte " +
+		"boundaries, padded array/slice element structs must be 64-byte " +
+		"multiples, and one line of a padded element type must not hold two " +
+		"sync/atomic fields (false sharing)",
+	Run: run,
+}
+
+const lineSize = 64
+
+// sizes64 is the layout the padding was written for: 64-bit gc targets.
+var sizes64 = types.SizesFor("gc", "amd64")
+
+func run(pass *framework.Pass) error {
+	// Everything named-or-anonymous that is the element type of some array
+	// or slice mentioned in this package. Named elements are collected as
+	// their TypeName; anonymous ones as the syntactic StructType node.
+	elemNames := make(map[*types.TypeName]bool)
+	elemNodes := make(map[*ast.StructType]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			at, ok := n.(*ast.ArrayType)
+			if !ok {
+				return true
+			}
+			elt := ast.Unparen(at.Elt)
+			if st, ok := elt.(*ast.StructType); ok {
+				elemNodes[st] = true
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(elt); t != nil {
+				if named, ok := t.(*types.Named); ok {
+					elemNames[named.Obj()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	seen := make(map[*types.Struct]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var node *ast.StructType
+			var name string
+			isElem := false
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				node = st
+				name = n.Name.Name
+				if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.TypeName); ok {
+					isElem = elemNames[obj]
+				}
+			case *ast.StructType:
+				node = n
+				name = "anonymous struct"
+				isElem = elemNodes[n]
+			default:
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[node]
+			if !ok {
+				return true
+			}
+			st, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok || seen[st] {
+				return true
+			}
+			seen[st] = true
+			check(pass, name, st, isElem)
+			return true
+		})
+	}
+	return nil
+}
+
+// check applies the three rules to one struct layout.
+func check(pass *framework.Pass, name string, st *types.Struct, isElem bool) {
+	fields := make([]*types.Var, st.NumFields())
+	padded := false
+	for i := range fields {
+		fields[i] = st.Field(i)
+		if isPadField(fields[i]) {
+			padded = true
+		}
+	}
+	if !padded || len(fields) == 0 {
+		return
+	}
+	offsets := sizes64.Offsetsof(fields)
+	size := sizes64.Sizeof(st)
+
+	// Rule 1: pads end on line boundaries.
+	for i, f := range fields {
+		if !isPadField(f) {
+			continue
+		}
+		end := offsets[i] + sizes64.Sizeof(f.Type())
+		if end%lineSize != 0 {
+			pass.Reportf(f.Pos(),
+				"padding array of %s ends at offset %d, not a 64-byte boundary; the fields it should isolate share their cache line",
+				name, end)
+		}
+	}
+
+	if !isElem {
+		return
+	}
+
+	// Rule 2: element structs tile cache lines exactly.
+	if size%lineSize != 0 {
+		pass.Reportf(st.Field(0).Pos(),
+			"padded struct %s is %d bytes but is used as an array/slice element; size must be a multiple of 64 or elements shift across cache lines",
+			name, size)
+	}
+
+	// Rule 3: one line of an element struct holds at most one atomic field.
+	byLine := make(map[int64][]int)
+	for i, f := range fields {
+		if lockstate.IsAtomicType(f.Type()) {
+			line := offsets[i] / lineSize
+			byLine[line] = append(byLine[line], i)
+		}
+	}
+	for line, idxs := range byLine {
+		if len(idxs) < 2 {
+			continue
+		}
+		names := make([]string, len(idxs))
+		for j, i := range idxs {
+			names[j] = fields[i].Name()
+		}
+		pass.Report(framework.Diagnostic{
+			Pos: fields[idxs[0]].Pos(),
+			Message: fmt.Sprintf(
+				"atomic fields %s of %s share 64-byte line %d of an array/slice element struct (false sharing between slots)",
+				strings.Join(names, ", "), name, line),
+		})
+	}
+}
+
+// isPadField reports whether f is a blank [N]byte padding array.
+func isPadField(f *types.Var) bool {
+	if f.Name() != "_" {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"dope/internal/analysis/analysistest"
+	"dope/internal/analysis/padcheck"
+)
+
+func TestPadcheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", padcheck.Analyzer, "padcheck")
+}

@@ -1,0 +1,38 @@
+// True positives: fields driven through sync/atomic in one place and
+// accessed plainly in another, plus a misaligned 64-bit atomic field.
+package atomiccheck
+
+import (
+	"sync/atomic"
+)
+
+type stats struct {
+	ops   int64         // mixed: atomic in bump, plain in report
+	flag  atomic.Bool   // mixed: method calls in bump, plain store in reset
+	clean atomic.Uint64 // atomic-only: silent
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.ops, 1)
+	s.flag.Store(true)
+	s.clean.Add(1)
+}
+
+func (s *stats) report() int64 {
+	return s.ops // want `plain read of stats\.ops which is also accessed atomically`
+}
+
+func (s *stats) reset() {
+	s.ops = 0              // want `plain write of stats\.ops which is also accessed atomically`
+	s.flag = atomic.Bool{} // want `plain write of stats\.flag which is also accessed atomically`
+}
+
+// skewed puts a 64-bit atomic word at offset 4 under 32-bit layout.
+type skewed struct {
+	ready bool
+	n     int64 // want `64-bit atomic field skewed\.n is at offset 4 under 32-bit layout`
+}
+
+func (s *skewed) load() int64 {
+	return atomic.LoadInt64(&s.n)
+}

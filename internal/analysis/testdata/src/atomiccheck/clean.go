@@ -1,0 +1,70 @@
+// FP regressions: the lock-held fold idiom, *Locked-convention helpers,
+// construction-phase writes, aligned 64-bit atomics, and suppressions must
+// stay silent.
+package atomiccheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type folded struct {
+	mu    sync.Mutex
+	hot   int64 // atomic on the hot path, folded plainly under mu
+	total int64 // plain only, touched under mu
+}
+
+func (f *folded) hotAdd(d int64) {
+	atomic.AddInt64(&f.hot, d)
+}
+
+// fold is the documented idiom: the control tick drains the atomic
+// accumulator into the locked aggregate; the plain read and reset-write of
+// hot are ordered by mu against every other locked fold.
+func (f *folded) fold() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total += f.hot
+	f.hot = 0
+}
+
+// drainLocked follows the *Locked convention: caller holds f.mu.
+func (f *folded) drainLocked() int64 {
+	v := f.hot
+	f.hot = 0
+	return v
+}
+
+// newFolded writes the atomic-side field plainly during construction, before
+// the value can be shared.
+func newFolded(seed int64) *folded {
+	f := &folded{}
+	f.hot = seed
+	return f
+}
+
+// aligned: the 64-bit atomic word leads the struct, offset 0 on every
+// target; and typed atomics align themselves wherever they sit.
+type aligned struct {
+	n     int64
+	ready bool
+	typed atomic.Int64
+}
+
+func (a *aligned) load() int64 {
+	a.typed.Add(1)
+	return atomic.LoadInt64(&a.n)
+}
+
+// blessed mixes deliberately, with justification at the site.
+type blessed struct {
+	n int64
+}
+
+func (b *blessed) bump() {
+	atomic.AddInt64(&b.n, 1)
+}
+
+func (b *blessed) peek() int64 {
+	return b.n //dopevet:ignore atomiccheck monotonic counter, staleness tolerated
+}

@@ -93,3 +93,20 @@ func intervalThroughVarDecl() {
 	dope.Create(root, dope.MaxThroughput(8),
 		dope.WithControlInterval(tick)) // want `control interval 300µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
 }
+
+// Arithmetic over a folded local folds too: the type checker leaves
+// `base / 2` unfolded because base is a variable, but the loader's const
+// folder chases the single assignment through the division.
+func intervalFoldedArithmetic() {
+	base := 400 * time.Microsecond
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(base/2)) // want `control interval 200µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}
+
+// Chains of folded locals resolve recursively.
+func intervalFoldedChain() {
+	base := 50 * time.Millisecond
+	tick := base / 100
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(tick)) // want `control interval 500µs is shorter than the monitor EWMA window \(~700µs at α=0\.25\)`
+}

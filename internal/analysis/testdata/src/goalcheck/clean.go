@@ -92,6 +92,22 @@ func coreNewMechanismUnchecked() {
 		core.WithControlInterval(5*time.Millisecond))
 }
 
+// Folded arithmetic lands above the window: 50ms/2 = 25ms is a perfectly
+// healthy interval spelled through a local.
+func intervalFoldedOK() {
+	base := 50 * time.Millisecond
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(base/2))
+}
+
+// Genuinely dynamic arithmetic stays outside static reach: one operand is a
+// parameter, so the division must not fold no matter how tempting the
+// constant half looks.
+func intervalDynamicArithmetic(d time.Duration) {
+	dope.Create(root, dope.MaxThroughput(8),
+		dope.WithControlInterval(d/2))
+}
+
 // A reassigned local is not a constant: the second store may run first (or
 // at all), so the checker must not fold the initializer and cry wolf.
 func intervalReassignedLocal(fast bool) {

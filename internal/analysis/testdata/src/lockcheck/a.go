@@ -1,0 +1,68 @@
+// True positives: fields written under the counter's mutex are guarded, so
+// every lock-free plain access trips the analyzer.
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu    sync.Mutex
+	n     int          // guarded: written under mu in add
+	peak  int          // guarded: written under mu in add
+	hits  atomic.Int64 // lock-free by design
+	label string       // never written under mu: unguarded
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	if c.n > c.peak {
+		c.peak = c.n
+	}
+	c.mu.Unlock()
+	c.hits.Add(1)
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `read of counter\.n without holding mu`
+}
+
+func (c *counter) racyWrite() {
+	c.peak = 0 // want `write of counter\.peak without holding mu`
+}
+
+// lockOnlyInBranch holds the mutex in one arm only; after the join the lock
+// is no longer provably held, so the trailing read is flagged.
+func (c *counter) lockOnlyInBranch(b bool) int {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `read of counter\.n without holding mu`
+}
+
+// earlyUnlock releases before the final touch.
+func (c *counter) earlyUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `write of counter\.n without holding mu`
+}
+
+// closureEscape: a func literal may run on another goroutine, so the held
+// set does not flow into its body.
+func (c *counter) closureEscape() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `read of counter\.n without holding mu`
+	}
+}
+
+// unguardedOK: label is never written under the lock, so no guard is
+// inferred and free access stays silent.
+func (c *counter) unguardedOK() string {
+	return c.label
+}

@@ -1,0 +1,69 @@
+// FP regressions: construction-phase writes, the *Locked calling
+// convention, deferred unlocks, atomic traffic on guarded structs, and
+// suppressions must all stay silent.
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	mu  sync.Mutex
+	v   int          // guarded: written under mu in set
+	raw atomic.Int64 // atomic fast path; folded under mu in foldLocked
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+	// Lock-held plain read of an atomic field is the documented fold idiom;
+	// the atomic method call is its own synchronization and never flagged.
+	g.v += int(g.raw.Load())
+}
+
+// foldLocked follows the repo convention: the caller holds g.mu, so plain
+// access to guarded fields is allowed.
+func (g *gauge) foldLocked() int {
+	g.v++
+	return g.v
+}
+
+// newGauge writes guarded fields without the lock, but the receiver is a
+// local freshly constructed in this function — the construction phase,
+// before the value can be shared.
+func newGauge(v int) *gauge {
+	g := &gauge{}
+	g.v = v
+	g.raw.Store(int64(v))
+	return g
+}
+
+func newGaugeValue(v int) gauge {
+	var out gauge
+	g := new(gauge)
+	g.v = v
+	out = *g
+	return out
+}
+
+// deferredHold keeps the lock to function end through defer, covering every
+// statement after the Lock.
+func (g *gauge) deferredHold() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v++
+	return g.v
+}
+
+// suppressed is a deliberate unlocked peek, blessed inline.
+func (g *gauge) suppressed() int {
+	return g.v //dopevet:ignore lockcheck racy snapshot for logging only
+}
+
+// atomicOnly traffic on the atomic field needs no lock anywhere.
+func (g *gauge) atomicOnly() int64 {
+	g.raw.Add(1)
+	return g.raw.Load()
+}

@@ -1,0 +1,22 @@
+// Cross-package check: helper.Counter.N is guarded by Mu in its home
+// package; this importer's plain access is caught through the GuardFact.
+package lockcheckfacts
+
+import "lockcheckfacts/helper"
+
+func racy(c *helper.Counter) int {
+	c.N++      // want `write of Counter\.N without holding Mu`
+	return c.N // want `read of Counter\.N without holding Mu`
+}
+
+func lockedOK(c *helper.Counter) int {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	return c.N
+}
+
+func freshOK() *helper.Counter {
+	c := &helper.Counter{}
+	c.N = 7
+	return c
+}

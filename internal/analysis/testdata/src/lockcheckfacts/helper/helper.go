@@ -1,0 +1,18 @@
+// Package helper establishes the guard discipline that the importing
+// fixture package is checked against through vetx GuardFacts.
+package helper
+
+import "sync"
+
+// Counter's N is written under Mu in Incr, so the exported GuardFact pins
+// N:guarded-by-Mu for every importer.
+type Counter struct {
+	Mu sync.Mutex
+	N  int
+}
+
+func (c *Counter) Incr() {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	c.N++
+}

@@ -1,0 +1,41 @@
+// True positives: a short pad, a non-tiling element struct, and two hot
+// atomics crowded into one line of a sharded element type.
+package padcheck
+
+import "sync/atomic"
+
+// shortPad's author padded against a stale field list: 8 (count) + 8 (last)
+// + 40 = 56, so the pad ends mid-line and the next struct in memory shares
+// the line.
+type shortPad struct {
+	count int64
+	last  int64
+	_     [40]byte // want `padding array of shortPad ends at offset 56, not a 64-byte boundary`
+}
+
+// oddElem is padded (and its pad ends on a line boundary), but the trailing
+// field makes it 72 bytes; as a slice element, element k+1 starts mid-line.
+type oddElem struct {
+	n    int64 // want `padded struct oddElem is 72 bytes but is used as an array/slice element`
+	_    [56]byte
+	tail int64
+}
+
+var oddRing []oddElem
+
+// crowded is a sharded per-slot type whose two hot atomics land in line 0:
+// the CAS on word invalidates every reader of hits on neighboring cores.
+type crowded struct {
+	word atomic.Uint64 // want `atomic fields word, hits of crowded share 64-byte line 0`
+	hits atomic.Int64
+	_    [48]byte
+}
+
+type table struct {
+	shards []crowded
+}
+
+func use(t *table) int64 {
+	t.shards[0].word.Add(1)
+	return t.shards[0].hits.Load()
+}

@@ -1,0 +1,73 @@
+// FP regressions: correct sharded layouts, the StageStats shape (padded,
+// multi-atomic, but never an array element), anonymous element structs, and
+// unpadded structs must all stay silent.
+package padcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// goodShard tiles exactly: one hot atomic per 64-byte line, pad to 64.
+type goodShard struct {
+	word atomic.Uint64
+	_    [56]byte
+}
+
+var shardRing [8]goodShard
+
+// twoLine spreads its two atomics across separate lines of the element.
+type twoLine struct {
+	word atomic.Uint64
+	_    [56]byte
+	hits atomic.Int64
+	_    [56]byte
+}
+
+var twoRing []twoLine
+
+// statsShape mirrors StageStats: hot atomics padded away from the
+// mutex-guarded cold half. It is a singleton per stage, never an
+// array/slice element, so rules 2 and 3 do not apply — and its pad ends on
+// a line boundary, so rule 1 is satisfied.
+type statsShape struct {
+	open    atomic.Int32
+	lastEnd atomic.Int64
+	idle    atomic.Int64
+	_       [40]byte
+	mu      sync.Mutex
+	total   int64
+}
+
+func (s *statsShape) fold() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total += s.idle.Load()
+	return s.total
+}
+
+// anonymous element structs are checked too; this one tiles correctly.
+var counters = make([]struct {
+	n int64
+	_ [56]byte
+}, 8)
+
+// unpadded structs never opted in: atomics side by side are the author's
+// explicit choice and other analyzers' business.
+type unpadded struct {
+	a atomic.Int64
+	b atomic.Int64
+}
+
+var unpaddedRing []unpadded
+
+// suppressed: a deliberate two-atomics-per-line layout, blessed with
+// justification (e.g. the pair is always written by the same core).
+type blessedPair struct {
+	//dopevet:ignore padcheck lo/hi halves written by the owning core only
+	lo atomic.Uint64
+	hi atomic.Uint64
+	_  [48]byte
+}
+
+var blessedRing []blessedPair

@@ -35,9 +35,9 @@ type Exec struct {
 	epochUnix int64 // clock.Now().UnixNano() at construction
 	epochMono int64 // runtime nanotime() at construction
 	slowClock func() int64
-	mon      *monitor.Registry
-	interval time.Duration
-	trace    func(Event)
+	mon       *monitor.Registry
+	interval  time.Duration
+	trace     func(Event)
 	// tbuf batches trace events (trace.go): emitters enqueue, the control
 	// and watchdog ticks plus drain boundaries flush in emission order,
 	// and serve's shutdown flush runs after both tick loops have exited
@@ -184,7 +184,10 @@ func WithContextPool(p *platform.Contexts) Option {
 // WithMechanism installs the adaptation mechanism. A nil mechanism leaves
 // the configuration static (the baseline mode of the evaluation).
 func WithMechanism(m Mechanism) Option {
-	return func(e *Exec) { e.mech = m }
+	// Options run inside NewExec on a not-yet-shared Exec; the construction
+	// phase is invisible to lockcheck because the fresh value lives in the
+	// caller.
+	return func(e *Exec) { e.mech = m } //dopevet:ignore lockcheck option applied in NewExec before the Exec escapes
 }
 
 // WithControlInterval sets how often the executive consults the mechanism.

@@ -67,8 +67,8 @@ type StageStats struct {
 
 	execTime    *stats.EWMA // seconds per iteration, CPU section only
 	iterations  uint64
-	completed   uint64 // instances that ran to Finished
-	lastAtNanos int64  // UnixNano of the newest folded completion; noTime if none
+	completed   uint64      // instances that ran to Finished
+	lastAtNanos int64       // UnixNano of the newest folded completion; noTime if none
 	rate        *stats.EWMA // iterations/sec from inter-completion gaps
 	execSum     float64
 
@@ -129,7 +129,7 @@ type SlotRecorder struct {
 	foldedIters uint64
 	foldedExec  int64
 
-	_ [16]byte // round the struct up to a full cache line
+	_ [24]byte // round the struct up to a full cache line
 }
 
 // NewSlotRecorder registers and returns a fresh accumulator for one worker
