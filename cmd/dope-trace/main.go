@@ -7,6 +7,16 @@
 //	dope-trace -app ferret -goal throughput -requests 200
 //	dope-trace -app x264 -goal response -load 0.8
 //	dope-trace -app dedup -goal power -watts 720
+//
+// With -whatif it runs no application at all: it reads a snapshot log
+// recorded by -record and prints the causal what-if profile — each nest's
+// stages ranked by the predicted throughput payoff of one more hardware
+// context (and of a 10% service-time cut), averaged over the valid
+// snapshots. It exits nonzero when the log yields no valid profile or any
+// snapshot produced a non-finite payoff:
+//
+//	dope-trace -app ferret -record run.jsonl
+//	dope-trace -whatif run.jsonl
 package main
 
 import (
@@ -33,8 +43,13 @@ func main() {
 		threads  = flag.Int("threads", 24, "hardware-context budget")
 		record   = flag.String("record", "", "record monitoring snapshots to this JSONL file (for dope-replay)")
 		adminAt  = flag.String("admin", "", "serve the administration endpoint at this address (e.g. localhost:7117)")
+		whatif   = flag.String("whatif", "", "offline: print the causal what-if profile of a recorded snapshot log and exit")
 	)
 	flag.Parse()
+
+	if *whatif != "" {
+		os.Exit(runWhatIf(*whatif))
+	}
 
 	s := apps.NewServer(nil)
 	spec, twoLevel := buildApp(*app, s)
@@ -98,7 +113,7 @@ func main() {
 
 	if *adminAt != "" {
 		go func() {
-			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats,healthz}\n", *adminAt)
+			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats,whatif,healthz}\n", *adminAt)
 			if err := admin.NewServer(*adminAt, d.AdminHandler()).ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "dope-trace: admin:", err)
 			}

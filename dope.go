@@ -44,6 +44,7 @@ import (
 	"dope/internal/admin"
 	"dope/internal/core"
 	"dope/internal/mechanism"
+	"dope/internal/monitor"
 	"dope/internal/platform"
 	"dope/internal/power"
 )
@@ -89,6 +90,13 @@ type (
 	// TaskContext is the cooperative cancellation handle of one invocation
 	// (Worker.Context); its Done channel closes when the slot is abandoned.
 	TaskContext = core.TaskContext
+	// WhatIfReport is the causal what-if profile of one nest's stages:
+	// virtual speedups predicting the throughput payoff of one more
+	// context (or a faster stage), computed from live measurements by
+	// Report.WhatIf / NestReport.WhatIf and served at GET /whatif.
+	WhatIfReport = monitor.WhatIfReport
+	// WhatIfStage is one stage's row in a WhatIfReport ranking.
+	WhatIfStage = monitor.WhatIfStage
 )
 
 // Task status values.
@@ -343,6 +351,7 @@ var Mechanisms = struct {
 	TPC          func(threads int, watts float64) Mechanism
 	EDP          func(threads int) Mechanism
 	LoadProp     func(threads int) Mechanism
+	Gradient     func(threads int) Mechanism
 }{
 	Proportional: func(threads int) Mechanism { return &mechanism.Proportional{Threads: threads} },
 	WQTH: func(threads, mmax int, threshold float64) Mechanism {
@@ -364,12 +373,16 @@ var Mechanisms = struct {
 	LoadProp: func(threads int) Mechanism {
 		return &mechanism.LoadProportional{Threads: threads}
 	},
+	Gradient: func(threads int) Mechanism {
+		return &mechanism.Gradient{Threads: threads}
+	},
 }
 
 // AdminHandler returns an HTTP handler exposing the administrator's
 // console for this running system (§4): GET/PUT /config, GET/PUT
 // /mechanism (by catalog name, or "static"), GET /report, GET /stats,
-// GET /healthz. Mount it behind a server with sane timeouts, e.g.:
+// GET /whatif (the live causal what-if profile), GET /healthz. Mount it
+// behind a server with sane timeouts, e.g.:
 //
 //	go admin.NewServer("localhost:7117", d.AdminHandler()).ListenAndServe()
 func (d *DoPE) AdminHandler() http.Handler {
@@ -388,6 +401,7 @@ func (d *DoPE) AdminHandler() http.Handler {
 		"tpc":          func() Mechanism { return Mechanisms.TPC(threads, d.Goal().PowerBudget) },
 		"edp":          func() Mechanism { return Mechanisms.EDP(threads) },
 		"loadprop":     func() Mechanism { return Mechanisms.LoadProp(threads) },
+		"gradient":     func() Mechanism { return Mechanisms.Gradient(threads) },
 	}
 	return admin.Handler(d.Exec, factories)
 }

@@ -14,6 +14,9 @@
 //	                 {"name": "static"} freezes the current configuration
 //	GET  /stats      executive counters (uptime, reconfigurations,
 //	                 suspensions, in-place resizes, stalls, shed items, ...)
+//	GET  /whatif     the causal what-if profile per nest: stages ranked by
+//	                 the predicted throughput payoff of one more context
+//	                 (or a 10% service-time cut), from live measurements
 //	GET  /healthz    liveness probe: 200 while healthy, 503 once a task has
 //	                 failed or stalled under FailStop or abandoned (zombie)
 //	                 slots linger, with per-stage detail
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"dope/internal/core"
+	"dope/internal/monitor"
 	"dope/internal/replay"
 )
 
@@ -47,6 +51,7 @@ func Handler(e *core.Exec, mechs map[string]MechanismFactory) http.Handler {
 	mux.HandleFunc("/config", h.config)
 	mux.HandleFunc("/mechanism", h.mechanism)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/whatif", h.whatif)
 	mux.HandleFunc("/healthz", h.healthz)
 	return mux
 }
@@ -78,7 +83,8 @@ func (h *adminState) index(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"endpoints": []string{
 			"GET /report", "GET /config", "PUT /config",
-			"GET /mechanism", "PUT /mechanism", "GET /stats", "GET /healthz",
+			"GET /mechanism", "PUT /mechanism", "GET /stats",
+			"GET /whatif", "GET /healthz",
 		},
 		"mechanisms": h.names(),
 	})
@@ -197,6 +203,37 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		"busyContexts":     h.exec.Contexts().Busy(),
 		"peakContexts":     h.exec.Contexts().Peak(),
 	})
+}
+
+// whatif serves the live causal what-if profile: one WhatIfReport per nest
+// in the tree, keyed by path, each ranking that nest's stages by the
+// predicted throughput payoff of one more hardware context. A nest whose
+// stages have not all completed an iteration yet reports Valid=false with
+// the reason, never a fabricated estimate; non-finite payoffs are scrubbed
+// before marshalling.
+func (h *adminState) whatif(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rep := h.exec.Report()
+	nests := map[string]monitor.WhatIfReport{}
+	var walk func(n *core.NestReport)
+	walk = func(n *core.NestReport) {
+		if n == nil {
+			return
+		}
+		nests[n.Path] = n.WhatIf()
+		for _, child := range n.Children {
+			walk(child)
+		}
+	}
+	walk(rep.Root)
+	root := ""
+	if rep.Root != nil {
+		root = rep.Root.Path
+	}
+	writeJSON(w, map[string]any{"root": root, "nests": nests})
 }
 
 // walkStages visits every stage report in the nest tree.

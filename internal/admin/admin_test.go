@@ -395,7 +395,7 @@ func TestIndexEndpoint(t *testing.T) {
 		Mechanisms []string `json:"mechanisms"`
 	}
 	getJSON(t, srv.URL+"/", &got)
-	if len(got.Endpoints) != 7 || len(got.Mechanisms) != 3 {
+	if len(got.Endpoints) != 8 || len(got.Mechanisms) != 3 {
 		t.Fatalf("index = %+v", got)
 	}
 	resp, err := http.Get(srv.URL + "/nope")
@@ -405,5 +405,82 @@ func TestIndexEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}
+
+// TestWhatIfEndpoint drives work through the pipeline until the live
+// what-if profile turns valid, then checks its shape: one report per nest,
+// finite ranked payoffs, and the PAR consume stage carrying the only
+// nonzero DoP payoff (the SEQ producer cannot accept contexts).
+func TestWhatIfEndpoint(t *testing.T) {
+	e, work, consumed := testExec(t)
+	defer func() { work.Close(); e.Wait() }()
+	srv := adminServer(t, e)
+
+	for i := 0; i < 64; i++ {
+		work.Enqueue(i)
+	}
+	waitFor(t, func() bool { return consumed.Load() >= 64 })
+
+	type whatIfBody struct {
+		Root  string `json:"root"`
+		Nests map[string]struct {
+			Valid      bool   `json:"Valid"`
+			Reason     string `json:"Reason"`
+			Bottleneck string `json:"Bottleneck"`
+			Stages     []struct {
+				Name      string  `json:"Name"`
+				PayoffDoP float64 `json:"PayoffDoP"`
+				Demand    float64 `json:"Demand"`
+			} `json:"Stages"`
+		} `json:"nests"`
+	}
+	var got whatIfBody
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, srv.URL+"/whatif", &got)
+		if rep, ok := got.Nests["svc"]; ok && rep.Valid {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("what-if never turned valid: %+v", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got.Root != "svc" {
+		t.Fatalf("root = %q, want svc", got.Root)
+	}
+	rep := got.Nests["svc"]
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %+v", rep.Stages)
+	}
+	for _, st := range rep.Stages {
+		if st.Name == "produce" && st.PayoffDoP != 0 {
+			t.Fatalf("SEQ stage has DoP payoff %v", st.PayoffDoP)
+		}
+		if st.Demand < 0 {
+			t.Fatalf("negative demand for %s", st.Name)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/whatif", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /whatif = %d, want 405", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond until it holds or a generous deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -8,9 +8,9 @@
 // still reachable — and mutable — from a stage that was supposed to have
 // given it up.
 //
-// Two rules, both scoped to the functor literals of one alternative (the
-// FuncLits installed as the Fn of core.StageFns or dope.PipeStage values
-// inside one enclosing function body):
+// Two rules, both scoped to the functors of one alternative — the FuncLits
+// and method values installed as the Fn of core.StageFns or dope.PipeStage
+// values inside one enclosing function body:
 //
 //   - shared written capture: a variable declared outside the functors,
 //     captured by two or more of them, and written by at least one. Channels,
@@ -24,6 +24,14 @@
 //     per-item values. Values produced inside the functor (dequeued,
 //     received, or allocated locally) are the sanctioned handoff and are
 //     never flagged.
+//
+// A pointer-receiver method value (Fn: r.produce) is a capture of r in
+// disguise: the bound method aliases the receiver, so its receiver-field
+// accesses count as captures of the site variable at the same field
+// granularity as literal functors. Sibling methods on one receiver that
+// touch disjoint fields keep disjoint state and are not flagged; a
+// value-receiver method value copies the receiver when it is bound and
+// shares nothing.
 package stagealias
 
 import (
@@ -95,22 +103,44 @@ type send struct {
 	pos     token.Pos
 }
 
+// fnSite is one expression installed as a stage Fn: either a functor
+// literal or a method value whose bound receiver lives at the site.
+type fnSite struct {
+	lit *ast.FuncLit      // literal functor, or
+	sel *ast.SelectorExpr // method value (r.produce) installed as Fn
+}
+
+func (s fnSite) pos() token.Pos {
+	if s.lit != nil {
+		return s.lit.Pos()
+	}
+	return s.sel.Pos()
+}
+
+func (s fnSite) end() token.Pos {
+	if s.lit != nil {
+		return s.lit.End()
+	}
+	return s.sel.End()
+}
+
 func run(pass *framework.Pass) error {
+	decls := methodDecls(pass)
 	for _, f := range pass.Files {
-		checkFile(pass, f)
+		checkFile(pass, f, decls)
 	}
 	return nil
 }
 
-func checkFile(pass *framework.Pass, f *ast.File) {
-	lits := functorLits(pass.TypesInfo, f)
-	if len(lits) < 2 {
+func checkFile(pass *framework.Pass, f *ast.File, decls map[*types.Func]*ast.FuncDecl) {
+	sites := functorSites(pass.TypesInfo, f)
+	if len(sites) < 2 {
 		return
 	}
 
 	// Group the functors by their innermost enclosing function: the
-	// literals built inside one Make (or one builder body) are the sibling
-	// stages of one alternative.
+	// literals and method values installed inside one Make (or one builder
+	// body) are the sibling stages of one alternative.
 	var encl []*ast.BlockStmt
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -123,9 +153,10 @@ func checkFile(pass *framework.Pass, f *ast.File) {
 		}
 		return true
 	})
-	groups := make(map[*ast.BlockStmt][]*ast.FuncLit)
-	for _, lit := range lits {
-		groups[innermost(encl, lit)] = append(groups[innermost(encl, lit)], lit)
+	groups := make(map[*ast.BlockStmt][]fnSite)
+	for _, s := range sites {
+		b := innermost(encl, s.pos(), s.end())
+		groups[b] = append(groups[b], s)
 	}
 
 	for _, group := range groups {
@@ -133,8 +164,12 @@ func checkFile(pass *framework.Pass, f *ast.File) {
 			continue
 		}
 		fs := make([]*functor, len(group))
-		for i, lit := range group {
-			fs[i] = analyze(pass, lit)
+		for i, s := range group {
+			if s.lit != nil {
+				fs[i] = analyze(pass, s.lit)
+			} else {
+				fs[i] = analyzeMethod(pass, s.sel, decls)
+			}
 		}
 		checkSharedWrites(pass, fs)
 		checkCapturedSends(pass, fs)
@@ -217,16 +252,27 @@ func checkCapturedSends(pass *framework.Pass, fs []*functor) {
 	}
 }
 
-// functorLits collects the FuncLits installed as stage functors: the Fn
+// functorSites collects the expressions installed as stage functors: the Fn
 // field of a core.StageFns or dope.PipeStage composite literal, or the
-// right-hand side of an assignment to such a value's Fn field.
-func functorLits(info *types.Info, f *ast.File) []*ast.FuncLit {
-	seen := make(map[*ast.FuncLit]bool)
-	var lits []*ast.FuncLit
+// right-hand side of an assignment to such a value's Fn field. A site is a
+// functor literal or a method value.
+func functorSites(info *types.Info, f *ast.File) []fnSite {
+	seenLit := make(map[*ast.FuncLit]bool)
+	seenSel := make(map[*ast.SelectorExpr]bool)
+	var sites []fnSite
 	add := func(e ast.Expr) {
-		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok && !seen[lit] {
-			seen[lit] = true
-			lits = append(lits, lit)
+		switch x := ast.Unparen(e).(type) {
+		case *ast.FuncLit:
+			if !seenLit[x] {
+				seenLit[x] = true
+				sites = append(sites, fnSite{lit: x})
+			}
+		case *ast.SelectorExpr:
+			s, ok := info.Selections[x]
+			if ok && s.Kind() == types.MethodVal && !seenSel[x] {
+				seenSel[x] = true
+				sites = append(sites, fnSite{sel: x})
+			}
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -251,15 +297,15 @@ func functorLits(info *types.Info, f *ast.File) []*ast.FuncLit {
 		}
 		return true
 	})
-	return lits
+	return sites
 }
 
 // innermost returns the smallest enclosing function body that properly
-// contains lit, or nil for a package-level literal.
-func innermost(bodies []*ast.BlockStmt, lit *ast.FuncLit) *ast.BlockStmt {
+// contains the [pos, end) span, or nil for a package-level site.
+func innermost(bodies []*ast.BlockStmt, pos, end token.Pos) *ast.BlockStmt {
 	var best *ast.BlockStmt
 	for _, b := range bodies {
-		if b == lit.Body || b.Pos() > lit.Pos() || lit.End() > b.End() {
+		if b.Pos() > pos || end > b.End() {
 			continue
 		}
 		if best == nil || b.Pos() > best.Pos() {
@@ -374,6 +420,141 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 		return true
 	})
 	return fn
+}
+
+// analyzeMethod resolves a method value installed as a stage functor and
+// records its receiver-field accesses as captures of the site's receiver
+// variable: with Fn: c.head and Fn: c.tail the shared state is the fields
+// of c, at the same field granularity as literal functors. Only a
+// pointer-receiver method aliases the site variable — a value-receiver
+// method value copies the receiver when it is bound, so whatever its body
+// touches is private to the copy. Sends and receives inside the method body
+// are not tracked: the captured-reference-send rule stays scoped to literal
+// functors, where the captured variable and the send share one body.
+func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*types.Func]*ast.FuncDecl) *functor {
+	info := pass.TypesInfo
+	fn := &functor{
+		caps:   make(map[access]token.Pos),
+		writes: make(map[access]token.Pos),
+		recvs:  make(map[*types.Var]bool),
+	}
+	s, ok := info.Selections[site]
+	if !ok || s.Kind() != types.MethodVal {
+		return fn
+	}
+	m, _ := s.Obj().(*types.Func)
+	siteRecv := rootVar(info, site.X)
+	if m == nil || siteRecv == nil {
+		return fn
+	}
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn
+	}
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		return fn
+	}
+	decl := decls[m.Origin()]
+	if decl == nil || decl.Body == nil || decl.Recv == nil ||
+		len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		// The body is out of reach (other package) or the receiver is
+		// anonymous: assume the method can touch the whole receiver.
+		fn.caps[access{v: siteRecv}] = site.Pos()
+		return fn
+	}
+	recvVar, _ := info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	if recvVar == nil {
+		fn.caps[access{v: siteRecv}] = site.Pos()
+		return fn
+	}
+
+	// Same field-granularity walk as analyze, but only receiver-rooted
+	// accesses count, remapped onto the site variable so identity lines up
+	// across sibling methods and literals sharing the same receiver.
+	fieldOf := make(map[*ast.Ident]*types.Var)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if f := directField(info, sel); f != nil {
+			fieldOf[id] = f
+		}
+		return true
+	})
+	remap := func(a access) (access, bool) {
+		if a.v != recvVar {
+			return access{}, false
+		}
+		a.v = siteRecv
+		return a, true
+	}
+	write := func(e ast.Expr) {
+		a, ok := remap(rootAccess(info, e))
+		if !ok {
+			return
+		}
+		if _, seen := fn.caps[a]; !seen {
+			fn.caps[a] = e.Pos()
+		}
+		if _, seen := fn.writes[a]; !seen {
+			fn.writes[a] = e.Pos()
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				if a, ok := remap(access{v: v, field: fieldOf[n]}); ok {
+					if _, seen := fn.caps[a]; !seen {
+						fn.caps[a] = n.Pos()
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				write(lhs)
+			}
+		case *ast.IncDecStmt:
+			write(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					write(n.Key)
+				}
+				if n.Value != nil {
+					write(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return fn
+}
+
+// methodDecls indexes the package's method declarations by their type
+// object, so analyzeMethod can walk the body behind a method value.
+func methodDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[obj] = fd
+			}
+		}
+	}
+	return m
 }
 
 // captured reports whether v is a function-scoped variable declared outside

@@ -1,0 +1,207 @@
+// Method-value functors: a pointer-receiver method installed as a stage Fn
+// is a capture of its receiver in disguise, at field granularity — plus the
+// false-positive regressions (disjoint fields, value receivers) that must
+// stay quiet.
+package stagealias
+
+import (
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// counterStages carries head/tail bookkeeping in one struct; both stage
+// methods touch the same cursor field.
+type counterStages struct {
+	q      *queue.Queue[int]
+	cursor int
+}
+
+func (c *counterStages) head(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	c.cursor++ // want `stage functor writes "c.cursor", which a sibling stage functor also captures`
+	c.q.Enqueue(c.cursor)
+	return w.End()
+}
+
+func (c *counterStages) tail(w *core.Worker) core.Status {
+	v, err := c.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	sink(v + c.cursor)
+	return w.End()
+}
+
+// Sibling pointer-receiver methods sharing a written field are the same bug
+// as sibling literals sharing a written capture.
+func methodSiblingsSharedField(q *queue.Queue[int]) *core.AltInstance {
+	c := &counterStages{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: c.head},
+		{Fn: c.tail},
+	}}
+}
+
+// resetStages clobbers the whole receiver in one stage while the other
+// reads a field of it: a whole-variable write overlaps every field.
+type resetStages struct {
+	q  *queue.Queue[int]
+	id int
+}
+
+func (r *resetStages) emit(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	r.q.Enqueue(r.id)
+	*r = resetStages{q: r.q} // want `stage functor writes "r", which a sibling stage functor also captures`
+	return w.End()
+}
+
+func (r *resetStages) tally(w *core.Worker) core.Status {
+	v, err := r.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	observe(v + r.id)
+	return w.End()
+}
+
+func methodWholeReceiverReset(q *queue.Queue[int]) *core.AltInstance {
+	r := &resetStages{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: r.emit},
+		{Fn: r.tally},
+	}}
+}
+
+// A method value and a literal functor sharing the same receiver variable
+// form one sibling group: the literal's field write conflicts with the
+// method's capture of the same field.
+type mixedStages struct {
+	q     *queue.Queue[int]
+	total int
+}
+
+func (m *mixedStages) drainTotal(w *core.Worker) core.Status {
+	v, err := m.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	observe(v + m.total)
+	return w.End()
+}
+
+func methodAndLiteralMixed(q *queue.Queue[int]) *core.AltInstance {
+	m := &mixedStages{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				m.total++ // want `stage functor writes "m.total", which a sibling stage functor also captures`
+				m.q.Enqueue(m.total)
+				return w.End()
+			},
+		},
+		{Fn: m.drainTotal},
+	}}
+}
+
+// splitStats gives each stage method its own field: disjoint storage on one
+// receiver is private per-stage state and must not be flagged.
+type splitStats struct {
+	q        *queue.Queue[int]
+	produced int
+	consumed int
+}
+
+func (s *splitStats) produce(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	s.produced++
+	s.q.Enqueue(s.produced)
+	return w.End()
+}
+
+func (s *splitStats) consume(w *core.Worker) core.Status {
+	v, err := s.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	s.consumed += v
+	sink(s.consumed)
+	return w.End()
+}
+
+func methodSiblingsDisjointFields(q *queue.Queue[int]) *core.AltInstance {
+	s := &splitStats{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: s.produce},
+		{Fn: s.consume},
+	}}
+}
+
+// valueCounter's methods take the receiver by value: binding v.head copies
+// the struct, so the field writes land in the bound copy, not in shared
+// state — never flagged.
+type valueCounter struct {
+	q *queue.Queue[int]
+	n int
+}
+
+func (v valueCounter) head(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	v.n++
+	v.q.Enqueue(v.n)
+	return w.End()
+}
+
+func (v valueCounter) tail(w *core.Worker) core.Status {
+	x, err := v.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	sink(x + v.n)
+	return w.End()
+}
+
+func valueReceiverMethods(q *queue.Queue[int]) *core.AltInstance {
+	v := valueCounter{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: v.head},
+		{Fn: v.tail},
+	}}
+}
+
+// Two separate receiver variables of one type are two private states: the
+// methods overlap in the fields they write, but not in storage.
+func methodSiblingsSeparateReceivers(qa, qb *queue.Queue[int]) *core.AltInstance {
+	a := &splitStats{q: qa}
+	b := &splitStats{q: qb}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: a.produce},
+		{Fn: b.consume},
+	}}
+}

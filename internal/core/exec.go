@@ -720,7 +720,8 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 		})
 		relLoad := e.mon.RegisterLoad(key, fns.Load)
 		relShed := e.mon.RegisterShed(key, fns.Shed)
-		releases = append(releases, func() { relLoad(); relShed() })
+		relSoj := e.mon.RegisterSojourn(key, fns.Sojourn)
+		releases = append(releases, func() { relLoad(); relShed(); relSoj() })
 	}
 	if top {
 		// Register the groups and re-resolve the extents under the install

@@ -65,6 +65,16 @@ type StageReport struct {
 	// Shed counts items the stage's in-queue dropped under its overload
 	// policy (cumulative across instances; see queue.OverloadPolicy).
 	Shed uint64
+	// QueueSojourn is the smoothed wait an item spends in the stage's
+	// in-queue before this stage dequeues it, in seconds (mean over live
+	// instances reporting a sojourn gauge; zero when none do). Shed items
+	// are excluded — see queue.Queue.MeanSojourn.
+	QueueSojourn float64
+	// Observed reports that the stage has completed at least one iteration
+	// since its stats were last reset, i.e. that ExecTime, MeanExecTime and
+	// Rate reflect measurements rather than zero-valued defaults. The
+	// what-if profiler refuses to extrapolate from unobserved stages.
+	Observed bool
 }
 
 // NestReport is the monitored view of one nest under its current
@@ -175,6 +185,7 @@ func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestRepor
 		key := monitor.Key{Nest: nestName, Stage: st.Name}
 		ss := e.mon.Stage(key)
 		load, n := e.mon.Load(key)
+		sojourn, _ := e.mon.Sojourn(key)
 		nr.Stages = append(nr.Stages, StageReport{
 			Name:          st.Name,
 			Type:          st.Type,
@@ -199,6 +210,8 @@ func (e *Exec) nestReport(spec *NestSpec, cfg *Config, path []string) *NestRepor
 			StallsDuringDrain:   ss.StallsDuringDrain(),
 			Zombies:             ss.Zombies(),
 			Shed:                e.mon.Shed(key),
+			QueueSojourn:        sojourn,
+			Observed:            ss.Observed(),
 		})
 		if st.Nest != nil {
 			if nr.Children == nil {

@@ -25,6 +25,11 @@ type StageFns struct {
 	// executive aggregates it into StageReport.Shed and emits EventShed
 	// when it grows.
 	Shed func() uint64
+	// Sojourn reports the stage's smoothed in-queue wait in seconds
+	// (typically queue.Queue.MeanSojourn); optional. The executive
+	// aggregates it into StageReport.QueueSojourn, which the what-if
+	// profiler reads.
+	Sojourn func() float64
 	// Init runs once before any worker executes Fn (the paper's InitCB);
 	// optional.
 	Init func()

@@ -45,6 +45,7 @@ type traceRing struct {
 // few times so a straggler caught mid-enqueue at shutdown still gets out.
 type traceBuf struct {
 	seq    atomic.Uint64
+	cut    atomic.Uint64 // first sequence number flushFinal refuses (0 = open)
 	shards [traceShards]traceRing
 
 	flushMu sync.Mutex    // serializes delivery; protects the fields below
@@ -52,9 +53,15 @@ type traceBuf struct {
 	held    []tracedEvent // sorted suffix held back behind a sequence gap
 }
 
-// enqueue buffers ev for ordered delivery by the next flush.
+// enqueue buffers ev for ordered delivery by the next flush. Once flushFinal
+// has drawn its cut, later sequence numbers are dropped immediately: they
+// raced the caller's return from Wait and must not hold the final flush open
+// (or leave a permanent gap that would stall delivery).
 func (t *traceBuf) enqueue(ev Event) {
 	s := t.seq.Add(1)
+	if c := t.cut.Load(); c != 0 && s >= c {
+		return
+	}
 	r := &t.shards[s%traceShards]
 	r.mu.Lock()
 	r.buf = append(r.buf, tracedEvent{seq: s, ev: ev})
@@ -69,20 +76,33 @@ func (t *traceBuf) flush(deliver func(Event)) {
 	t.collectAndDeliver(deliver)
 }
 
-// flushFinal is flush for shutdown: it re-collects while progress is being
-// made so an emitter preempted mid-enqueue still gets its event delivered
-// before Done closes. Events enqueued after the last pass (e.g. an install
-// racing Wait) are dropped, matching the pre-buffering behavior where such
-// a callback raced the caller's return from Wait anyway.
+// flushFinal is flush for shutdown. It draws a cut at the current sequence
+// number: every event that took a number at or below the cut — a stall or
+// failure emit already in flight when the last drain finished, say — is
+// guaranteed delivery, in order, before Wait returns; events numbered after
+// the cut are dropped at enqueue, matching the pre-buffering behavior where
+// such a callback raced the caller's return from Wait anyway.
+//
+// The loop re-collects until every pre-cut number has been delivered. This
+// replaces a bounded multi-pass sweep, which had a termination condition
+// with two failure modes: a straggler preempted mid-enqueue for more than a
+// few scheduler yields had its event (and every held-back event sequenced
+// behind the gap) silently dropped, and a steady stream of post-flush
+// emitters could keep seq ahead of next so the sweep always used all its
+// passes. The cut bounds the wait by construction — each pre-cut emitter is
+// already inside enqueue, a few instructions from completing its append —
+// while post-cut emitters can no longer extend the flush.
 func (t *traceBuf) flushFinal(deliver func(Event)) {
 	t.flushMu.Lock()
 	defer t.flushMu.Unlock()
-	for i := 0; i < 4; i++ {
+	cut := t.seq.Load()
+	t.cut.Store(cut + 1)
+	for {
 		t.collectAndDeliver(deliver)
-		if len(t.held) == 0 && t.seq.Load() < t.next {
+		if t.next > cut {
 			return
 		}
-		runtime.Gosched() // let a straggler finish its append
+		runtime.Gosched() // let a pre-cut straggler finish its append
 	}
 }
 

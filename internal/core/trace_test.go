@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -86,5 +87,93 @@ func TestTraceBufHoldsBackAfterGap(t *testing.T) {
 	want := []EventKind{EventReconfigure, EventSuspend, EventResize}
 	if len(got) != 3 || got[1] != want[1] || got[2] != want[2] {
 		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+// TestTraceBufFinalFlushWaitsForStraggler is the regression test for the
+// final-flush race: an emitter that took its sequence number before the
+// final flush began (a stall or failure emit landing between the last drain
+// and Wait returning) but is preempted mid-enqueue for longer than a few
+// scheduler yields. The old bounded sweep gave up after four passes and
+// dropped both the straggler's event and every event sequenced behind the
+// gap; the cut-based flush must wait it out and deliver all three in order.
+func TestTraceBufFinalFlushWaitsForStraggler(t *testing.T) {
+	tb := new(traceBuf)
+	var got []EventKind
+	deliver := func(ev Event) { got = append(got, ev.Kind) }
+
+	tb.enqueue(Event{Kind: EventReconfigure}) // seq 1
+	tb.seq.Add(1)                             // straggler claims seq 2, append pending
+	tb.enqueue(Event{Kind: EventTaskStall})   // seq 3: sequenced behind the gap
+
+	landed := make(chan struct{})
+	go func() {
+		// Outlast the old implementation's four Gosched passes by a wide
+		// margin before completing the straggler's append.
+		for i := 0; i < 1000; i++ {
+			runtime.Gosched()
+		}
+		r := &tb.shards[2%traceShards]
+		r.mu.Lock()
+		r.buf = append(r.buf, tracedEvent{seq: 2, ev: Event{Kind: EventTaskFailure}})
+		r.mu.Unlock()
+		close(landed)
+	}()
+
+	tb.flushFinal(deliver)
+	<-landed
+	want := []EventKind{EventReconfigure, EventTaskFailure, EventTaskStall}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("final flush delivered %v, want %v", got, want)
+	}
+}
+
+// TestTraceBufFinalFlushUnderEmitStorm runs flushFinal against emitters that
+// never stop — the termination hazard of an unbounded re-collect loop. The
+// cut must (a) let the flush terminate, (b) deliver every event enqueued
+// before the flush began, and (c) keep per-emitter delivery a gapless
+// in-order prefix even for events racing the cut. Run under -race this also
+// exercises the enqueue/cut synchronization.
+func TestTraceBufFinalFlushUnderEmitStorm(t *testing.T) {
+	const pre = 200
+	const stormers = 4
+	tb := new(traceBuf)
+
+	// Emitter 0's events all land before the flush starts.
+	for i := 1; i <= pre; i++ {
+		tb.enqueue(Event{Kind: EventReconfigure, FromExtent: 0, ToExtent: i})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 1; g <= stormers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					tb.enqueue(Event{Kind: EventResize, FromExtent: g, ToExtent: i})
+				}
+			}
+		}(g)
+	}
+
+	lastRank := make([]int, stormers+1)
+	deliver := func(ev Event) {
+		if ev.ToExtent != lastRank[ev.FromExtent]+1 {
+			t.Errorf("emitter %d: rank %d delivered after %d",
+				ev.FromExtent, ev.ToExtent, lastRank[ev.FromExtent])
+		}
+		lastRank[ev.FromExtent] = ev.ToExtent
+	}
+	tb.flushFinal(deliver)
+	close(stop)
+	wg.Wait()
+
+	if lastRank[0] != pre {
+		t.Fatalf("pre-flush events delivered up to rank %d, want all %d", lastRank[0], pre)
 	}
 }

@@ -32,23 +32,39 @@ var (
 // calibrateTSC measures the tick rate against the runtime clock over a short
 // spin and, if it looks sane, anchors a process-wide unix-nanosecond epoch to
 // it. Runs once; ~200µs of one core, paid by the first wall-clock executive.
+//
+// Every (ticks, time) pairing is only trustworthy when nothing ran between
+// the two reads: a preemption inside the scale window skews the tick rate,
+// and one inside the epoch pairing bakes the length of the pause into every
+// timestamp the process will ever produce as a constant offset. Each pairing
+// therefore brackets the tick read between two clock reads, takes the
+// tightest of eight attempts, and declines the TSC outright if even the
+// tightest bracket is wide — a host that loaded calibrates against nothing,
+// and the monotonic fallback is always correct.
 func calibrateTSC() {
 	tscOnce.Do(func() {
-		c0 := cputicks()
-		if c0 == 0 {
+		if cputicks() == 0 {
 			return
 		}
-		t0 := nanotime()
-		var c1, t1 int64
-		for {
-			c1 = cputicks()
-			t1 = nanotime()
-			if t1-t0 >= 200_000 {
-				break
+		pair := func() (c, t, gap int64) {
+			gap = 1 << 62
+			for i := 0; i < 8; i++ {
+				t0 := nanotime()
+				ci := cputicks()
+				t1 := nanotime()
+				if g := t1 - t0; g < gap {
+					c, t, gap = ci, (t0+t1)/2, g
+				}
 			}
+			return
 		}
+		const maxBracket = 5_000 // ns; back-to-back clock reads are ~100ns
+		c0, t0, g0 := pair()
+		for nanotime()-t0 < 200_000 {
+		}
+		c1, t1, g1 := pair()
 		dn, dc := t1-t0, c1-c0
-		if dc <= 0 {
+		if dc <= 0 || g0 > maxBracket || g1 > maxBracket {
 			return
 		}
 		scale := float64(dn) / float64(dc)
@@ -56,9 +72,23 @@ func calibrateTSC() {
 		if scale < 0.05 || scale > 100 {
 			return
 		}
+		// Anchor the unix epoch with the same bracket discipline.
+		var ec, ew int64
+		gw := int64(1) << 62
+		for i := 0; i < 8; i++ {
+			w0 := time.Now().UnixNano()
+			ci := cputicks()
+			w1 := time.Now().UnixNano()
+			if g := w1 - w0; g < gw {
+				ec, ew, gw = ci, (w0+w1)/2, g
+			}
+		}
+		if gw > maxBracket {
+			return
+		}
 		tscScale = scale
-		tscEpochTicks = c1
-		tscEpochUnix = time.Now().UnixNano()
+		tscEpochTicks = ec
+		tscEpochUnix = ew
 		tscOK = true
 	})
 }

@@ -1,0 +1,54 @@
+package core
+
+import "dope/internal/monitor"
+
+// WhatIfInputs converts stage reports into the what-if profiler's inputs.
+// extents, when non-nil, overrides the worker count per stage (index-aligned
+// with stages); otherwise each stage's live Workers gauge is used, falling
+// back to its configured Extent while workers are still warming up. Service
+// time prefers the smoothed ExecTime and falls back to the lifetime mean.
+func WhatIfInputs(stages []StageReport, extents []int) []monitor.WhatIfInput {
+	in := make([]monitor.WhatIfInput, len(stages))
+	for i := range stages {
+		st := &stages[i]
+		workers := st.Workers
+		if extents != nil && i < len(extents) {
+			workers = extents[i]
+		}
+		if workers < 1 {
+			workers = st.Extent
+		}
+		svc := st.ExecTime
+		if svc <= 0 {
+			svc = st.MeanExecTime
+		}
+		in[i] = monitor.WhatIfInput{
+			Name:        st.Name,
+			Parallel:    st.Type == PAR,
+			Workers:     workers,
+			MaxDoP:      st.MaxDoP,
+			ServiceTime: svc,
+			Rate:        st.Rate,
+			Queue:       st.Load,
+			Sojourn:     st.QueueSojourn,
+			Ready:       st.Observed,
+		}
+	}
+	return in
+}
+
+// WhatIf runs the causal what-if profiler over the nest's stages under its
+// current configuration, answering "which stage's DoP (or service time) is
+// worth a context": see monitor.WhatIf for the model.
+func (n *NestReport) WhatIf() monitor.WhatIfReport {
+	return monitor.WhatIf(WhatIfInputs(n.Stages, nil))
+}
+
+// WhatIf runs the what-if profiler over the root nest's stages. It returns
+// an invalid report when the snapshot has no observation tree.
+func (r *Report) WhatIf() monitor.WhatIfReport {
+	if r == nil || r.Root == nil {
+		return monitor.WhatIfReport{Reason: "no observation tree"}
+	}
+	return r.Root.WhatIf()
+}

@@ -109,6 +109,8 @@ func Experiments() [][2]string {
 		{"table3", "mechanism implementation sizes (lines of code)"},
 		{"ext-locality", "EXTENSION: task placement vs communication locality"},
 		{"ext-edp", "EXTENSION: the min energy-delay-product goal"},
+		{"ext-whatif", "EXTENSION: ferret what-if profile (causal virtual speedups)"},
+		{"ext-whatif-gradient", "EXTENSION: what-if Gradient vs statics and §7 mechanisms"},
 		{"table4", "application port summary"},
 		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
 		{"reconfig-dip", "real-runtime reconfiguration cost: in-place resize vs whole-nest respawn"},
@@ -157,6 +159,10 @@ func Run(id string, scale float64) (*Table, error) {
 		return ExtLocality(scale), nil
 	case "ext-edp":
 		return ExtEDP(scale), nil
+	case "ext-whatif":
+		return ExtWhatIfProfile(scale), nil
+	case "ext-whatif-gradient":
+		return ExtWhatIfGradient(scale), nil
 	case "table4":
 		return Table4(), nil
 	case "table5":

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"dope/internal/core"
+	"dope/internal/mechanism"
+	"dope/internal/sim"
+)
+
+// The experiments in this file evaluate the causal what-if profiler
+// (internal/monitor's WhatIf) and the Gradient mechanism built on it:
+// TASKPROF-style virtual speedups answering "which stage is worth the next
+// hardware context", derived online from the same Begin/End windows, rates
+// and queue sojourns the paper's mechanisms consume.
+
+// reportProbe is a mechanism that records the latest observation snapshot
+// and never reconfigures, so an experiment can profile a static run.
+type reportProbe struct{ last *core.Report }
+
+func (p *reportProbe) Name() string                            { return "probe" }
+func (p *reportProbe) Reconfigure(r *core.Report) *core.Config { p.last = r; return nil }
+
+// ExtWhatIfProfile runs ferret under the paper's even static thread
+// distribution and prints the what-if profile: per-stage demand,
+// utilization, and the predicted throughput payoff of one more context
+// (or of a 10% service-time optimization). The profile must finger the rank
+// stage — the paper's Figure 12 starvation — without any experiment.
+func ExtWhatIfProfile(scale float64) *Table {
+	model := sim.Ferret()
+	even := []int{1, 5, 5, 5, 6, 1}
+	probe := &reportProbe{}
+	sim.RunPipeline(model, sim.PipelineConfig{
+		Tasks: tasksAt(scale, 2000), LoadFactor: 0.5, Seed: 1,
+		ControlEvery: 0.02, Mechanism: probe, Extents: even,
+	})
+	t := &Table{
+		ID:     "ext-whatif",
+		Title:  "EXTENSION: ferret what-if profile at the even static distribution <1,5,5,5,6,1>",
+		Header: []string{"stage", "extent", "demand (ms)", "util", "payoff/+1 ctx (q/s)", "payoff/-10% svc (q/s)"},
+		Notes: []string{
+			"virtual speedups from the balanced queueing bounds X(N) = min(N/ΣD, 1/max D), D_i = s_i/c_i",
+			"the profile ranks rank first: the even distribution starves it (Figure 12) — no experiment needed",
+		},
+	}
+	if probe.last == nil {
+		t.Notes = append(t.Notes, "control loop never ticked")
+		return t
+	}
+	rep := probe.last.WhatIf()
+	if !rep.Valid {
+		t.Notes = append(t.Notes, "profile invalid: "+rep.Reason)
+		return t
+	}
+	for _, st := range rep.Stages {
+		name := st.Name
+		if st.Bottleneck {
+			name += " *"
+		}
+		var extent int
+		if s := probe.last.Root.Stage(st.Name); s != nil {
+			extent = s.Extent
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", extent), f3(st.Demand * 1e3), f3(st.Utilization),
+			f1(st.PayoffDoP), f1(st.PayoffService),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"model throughput %.1f q/s at population %.1f; * = bottleneck (max demand)",
+		rep.Throughput, rep.Population))
+	return t
+}
+
+// ExtWhatIfGradient compares the Gradient mechanism — single-context moves
+// scored by the what-if model — against the even static distribution, the
+// work-queue mechanisms (static on flat pipelines), and the paper's
+// throughput mechanisms on the ferret batch run.
+func ExtWhatIfGradient(scale float64) *Table {
+	model := sim.Ferret()
+	ones := []int{1, 1, 1, 1, 1, 1}
+	even := []int{1, 5, 5, 5, 6, 1}
+	tasks := tasksAt(scale, 3000)
+	t := &Table{
+		ID:     "ext-whatif-gradient",
+		Title:  "EXTENSION: ferret batch throughput, what-if Gradient vs statics and §7 mechanisms",
+		Header: []string{"mechanism", "start", "steady (q/s)", "vs even static", "reconfigs"},
+		Notes: []string{
+			"Gradient moves one context per decision toward the largest model-predicted gain (min 1%, cooldown 2 ticks)",
+			"WQT-H and WQ-Linear own server-shaped apps; on a flat pipeline they hold their starting configuration",
+		},
+	}
+	run := func(name, start string, mech core.Mechanism, extents []int) float64 {
+		res := sim.RunPipeline(model, sim.PipelineConfig{
+			Tasks: tasks, ControlEvery: 0.02, Mechanism: mech, Extents: extents,
+		})
+		t.Rows = append(t.Rows, []string{name, start, f1(res.SteadyThroughput), "", fmt.Sprintf("%d", res.Reconfigurations)})
+		return res.SteadyThroughput
+	}
+	base := run("even static", "<1,5,5,5,6,1>", nil, even)
+	run("WQT-H", "<1,5,5,5,6,1>", &mechanism.WQTH{Threads: 24, Mmax: 8, Threshold: 6}, even)
+	run("WQ-Linear", "<1,5,5,5,6,1>", &mechanism.WQLinear{Threads: 24, Mmax: 8, Mmin: 1, Qmax: 14}, even)
+	run("Gradient (what-if)", "all ones", &mechanism.Gradient{Threads: 24}, ones)
+	run("DoPE-TB", "all ones", &mechanism.TBF{Threads: 24, DisableFusion: true}, ones)
+	run("DoPE-TBF", "all ones", &mechanism.TBF{Threads: 24}, ones)
+	for _, row := range t.Rows {
+		v := 0.0
+		fmt.Sscanf(row[2], "%f", &v)
+		row[3] = fx(v / base)
+	}
+	return t
+}

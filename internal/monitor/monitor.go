@@ -57,10 +57,11 @@ type StageStats struct {
 	// guaranteed to read an end-time no older than the close that emptied
 	// the stage — that pairing is what keeps each banked idle stretch exact
 	// without a lock.
-	open      atomic.Int32
-	lastEnd   atomic.Int64 // UnixNano of the newest window close; noTime if none
-	idleAccum atomic.Int64 // banked idle nanos awaiting the next completion
-	_         [40]byte     // keep the hot atomics off the mutex's cache line
+	open       atomic.Int32
+	lastEnd    atomic.Int64 // UnixNano of the newest window close; noTime if none
+	idleAccum  atomic.Int64 // banked idle nanos awaiting the next completion
+	firstBegin atomic.Int64 // UnixNano of the first window open since reset; noTime if none
+	_          [32]byte     // keep the hot atomics off the mutex's cache line
 
 	mu   sync.Mutex
 	recs []*SlotRecorder // live per-slot accumulators, drained by foldLocked
@@ -107,6 +108,7 @@ func newStageStats(alpha float64) *StageStats {
 	}
 	s.lastAtNanos = noTime
 	s.lastEnd.Store(noTime)
+	s.firstBegin.Store(noTime)
 	return s
 }
 
@@ -177,11 +179,18 @@ func (rec *SlotRecorder) ObserveEnd(durNanos, nowNanos int64) {
 
 // beginAtomic is the shared open/idle transition for a window opening: the
 // increment that wakes an idle stage banks the idle stretch since the close
-// that emptied it.
+// that emptied it. Before any window has closed there is no idle stretch to
+// bank; instead the very first open seeds firstBegin, the gap origin the
+// first fold's rate observation anchors to (without it the whole first batch
+// of completions would make no rate observation at all, and a mechanism or
+// profiler reading Rate() before the second control tick would see 0 — an
+// "infinitely fast" stage by the demand math).
 func (s *StageStats) beginAtomic(nowNanos int64) {
 	if s.open.Add(1) == 1 {
 		if le := s.lastEnd.Load(); le != noTime && nowNanos > le {
 			s.idleAccum.Add(nowNanos - le)
+		} else if le == noTime {
+			s.firstBegin.CompareAndSwap(noTime, nowNanos)
 		}
 	}
 }
@@ -232,8 +241,15 @@ func (s *StageStats) foldLocked() {
 	s.iterations += k
 	s.consecFail = 0
 	idle := s.idleAccum.Swap(0)
-	if s.lastAtNanos != noTime {
-		gap := float64(last-s.lastAtNanos-idle) / 1e9
+	origin := s.lastAtNanos
+	if origin == noTime {
+		// First fold since (re)start: anchor the gap at the first window
+		// open, so the first batch yields a real rate observation instead of
+		// only seeding the gap state.
+		origin = s.firstBegin.Load()
+	}
+	if origin != noTime {
+		gap := float64(last-origin-idle) / 1e9
 		if gap > 0 {
 			s.rate.ObserveBatch(float64(k)/gap, k)
 		}
@@ -269,8 +285,12 @@ func (s *StageStats) ObserveIteration(d time.Duration, now time.Time) {
 	s.consecFail = 0
 	nowNanos := now.UnixNano()
 	idle := s.idleAccum.Swap(0)
-	if s.lastAtNanos != noTime {
-		gap := float64(nowNanos-s.lastAtNanos-idle) / 1e9
+	origin := s.lastAtNanos
+	if origin == noTime {
+		origin = s.firstBegin.Load() // see foldLocked: first-completion anchor
+	}
+	if origin != noTime {
+		gap := float64(nowNanos-origin-idle) / 1e9
 		if gap > 0 {
 			s.rate.Observe(1 / gap)
 		}
@@ -322,6 +342,7 @@ func (s *StageStats) resetGapLocked() {
 	s.lastAtNanos = noTime
 	s.lastEnd.Store(noTime)
 	s.idleAccum.Store(0)
+	s.firstBegin.Store(noTime)
 	s.open.Store(0)
 }
 
@@ -503,6 +524,18 @@ func (s *StageStats) Rate() float64 {
 	return s.rate.Value()
 }
 
+// Observed reports whether the stage has folded at least one completed
+// iteration — the readiness sentinel consumers of Rate()/MeanExecTime()
+// check before trusting the numbers. Before the first completion both
+// getters return 0, which the what-if profiler would otherwise read as an
+// infinitely fast stage.
+func (s *StageStats) Observed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.foldLocked()
+	return s.iterations > 0
+}
+
 // Iterations returns the total number of observed iterations.
 func (s *StageStats) Iterations() uint64 {
 	s.mu.Lock()
@@ -531,20 +564,22 @@ func (s *StageStats) Fold() {
 type Registry struct {
 	alpha float64
 
-	mu     sync.Mutex
-	stages map[Key]*StageStats
-	loads  map[Key]map[int64]func() float64 // live LoadCBs by instance id
-	sheds  map[Key]map[int64]func() uint64  // live shed counters by instance id
-	nextID int64
+	mu       sync.Mutex
+	stages   map[Key]*StageStats
+	loads    map[Key]map[int64]func() float64 // live LoadCBs by instance id
+	sheds    map[Key]map[int64]func() uint64  // live shed counters by instance id
+	sojourns map[Key]map[int64]func() float64 // live sojourn gauges by instance id
+	nextID   int64
 }
 
 // NewRegistry returns a registry whose EWMAs use the given alpha.
 func NewRegistry(alpha float64) *Registry {
 	return &Registry{
-		alpha:  alpha,
-		stages: make(map[Key]*StageStats),
-		loads:  make(map[Key]map[int64]func() float64),
-		sheds:  make(map[Key]map[int64]func() uint64),
+		alpha:    alpha,
+		stages:   make(map[Key]*StageStats),
+		loads:    make(map[Key]map[int64]func() float64),
+		sheds:    make(map[Key]map[int64]func() uint64),
+		sojourns: make(map[Key]map[int64]func() float64),
 	}
 }
 
@@ -634,6 +669,54 @@ func (r *Registry) RegisterShed(key Key, cb func() uint64) (release func()) {
 	}
 }
 
+// RegisterSojourn registers a live queue-sojourn gauge (typically
+// Queue.MeanSojourn of the stage's in-queue) for key and returns a handle to
+// unregister it when the instance ends. Sojourn is a gauge like load, not a
+// cumulative counter: nothing is folded on release. A nil cb registers
+// nothing and returns a no-op release.
+func (r *Registry) RegisterSojourn(key Key, cb func() float64) (release func()) {
+	if cb == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	m, ok := r.sojourns[key]
+	if !ok {
+		m = make(map[int64]func() float64)
+		r.sojourns[key] = m
+	}
+	m[id] = cb
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		if m, ok := r.sojourns[key]; ok {
+			delete(m, id)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Sojourn polls all live sojourn gauges for key and returns their mean (the
+// stage's smoothed in-queue wait in seconds) and how many instances
+// reported.
+func (r *Registry) Sojourn(key Key) (mean float64, instances int) {
+	r.mu.Lock()
+	cbs := make([]func() float64, 0, 4)
+	for _, cb := range r.sojourns[key] {
+		cbs = append(cbs, cb)
+	}
+	r.mu.Unlock()
+	var total float64
+	for _, cb := range cbs {
+		total += cb()
+	}
+	if len(cbs) == 0 {
+		return 0, 0
+	}
+	return total / float64(len(cbs)), len(cbs)
+}
+
 // Shed returns the stage's cumulative shed-item count: retired instances'
 // totals plus the live counters.
 func (r *Registry) Shed(key Key) uint64 {
@@ -684,4 +767,5 @@ func (r *Registry) Reset() {
 	r.stages = make(map[Key]*StageStats)
 	r.loads = make(map[Key]map[int64]func() float64)
 	r.sheds = make(map[Key]map[int64]func() uint64)
+	r.sojourns = make(map[Key]map[int64]func() float64)
 }

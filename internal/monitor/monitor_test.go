@@ -206,11 +206,15 @@ func TestRateIdleInterleaved(t *testing.T) {
 	s.ObserveIteration(10*time.Millisecond, at(140))
 	s.ObserveEnd(at(140))
 
-	// Gap for the completion at 30: 10 ms (B's at 20 -> A's at 30, fully
-	// covered by open windows) -> 100/s. Gap for the completion at 140:
-	// 110 ms wall minus 100 ms idle = 10 ms -> 100/s. EWMA stays ~100.
-	if got := s.Rate(); math.Abs(got-100) > 5 {
-		t.Fatalf("rate with interleaved windows = %v, want ~100", got)
+	// Gap for the first completion at 20: anchored at the stage's first
+	// window open (A's at 0) -> 20 ms -> 50/s. Gap for the completion at
+	// 30: 10 ms (B's at 20 -> A's at 30, fully covered by open windows) ->
+	// 100/s. Gap for the completion at 140: 110 ms wall minus 100 ms idle =
+	// 10 ms -> 100/s. EWMA(0.5) over 50, 100, 100 settles at 87.5; had the
+	// idle stretch folded in, the last observation would be ~9/s and the
+	// EWMA would collapse below 45.
+	if got := s.Rate(); math.Abs(got-87.5) > 5 {
+		t.Fatalf("rate with interleaved windows = %v, want ~87.5", got)
 	}
 }
 

@@ -1,0 +1,310 @@
+// Causal what-if profiler: per-stage virtual-speedup estimates in the style
+// of TASKPROF ("what if this region were K× faster/wider?"), computed from
+// the observations the monitor already records — per-iteration service time
+// from Begin/End windows, completion rate, queue occupancy and queue
+// sojourn.
+//
+// The model is a closed queueing network over the nest/pipeline topology,
+// approximated by operational asymptotic bounds. Each stage i is a station
+// with c_i servers (its DoP extent) and per-item service time s_i, so its
+// service demand is D_i = s_i / c_i and its capacity 1/D_i. With N jobs in
+// the system (queued items plus items in service, by Little's law), the
+// closed network's throughput is approximated by the balanced bound
+//
+//	X(N) = min( N / ΣD_i , 1 / max_i D_i )
+//
+// — population-limited when N is small, bottleneck-limited when the queues
+// are deep. A virtual speedup re-evaluates X with one stage's operating
+// point changed (c_j+1 for the DoP derivative, s_j·(1−ε) for the
+// service-time derivative) while N and every other stage hold still; the
+// difference is the predicted end-to-end payoff. The approximation is exact
+// in both asymptotes and within the usual balanced-job-bounds error in
+// between, which is accurate enough to *rank* stages — the only thing the
+// gradient mechanism and the reports consume.
+//
+// The estimate is invalid (Valid=false, Reason says why) when any stage has
+// not completed an iteration since its last reset (the monitor's readiness
+// sentinel — an unfolded stage would read as infinitely fast), when a
+// service time is non-positive, or when any computed figure is non-finite.
+// Non-finite values are scrubbed to zero so the report always marshals.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WhatIfInput is one stage's observed operating point, in topology order.
+type WhatIfInput struct {
+	// Name identifies the stage.
+	Name string
+	// Parallel marks the stage parallelizable; sequential stages have a
+	// fixed single server and a zero DoP payoff by construction.
+	Parallel bool
+	// Workers is the stage's current DoP extent (server count). Values
+	// below 1 are treated as 1.
+	Workers int
+	// MaxDoP caps the extent (0 = unbounded); a stage at its cap cannot
+	// receive another context, so its DoP payoff is zero.
+	MaxDoP int
+	// ServiceTime is the measured per-item CPU seconds (Begin..End).
+	ServiceTime float64
+	// Rate is the measured completion rate (items/sec, all servers).
+	Rate float64
+	// Queue is the measured in-queue occupancy (items waiting).
+	Queue float64
+	// Sojourn is the measured mean queue wait in seconds (0 if untracked).
+	// When Queue is unreported it reconstructs occupancy via Little's law.
+	Sojourn float64
+	// Ready reports that the stage has completed at least one iteration
+	// since its last reset; an unready stage invalidates the estimate.
+	Ready bool
+}
+
+// WhatIfStage is one stage's share of the what-if report.
+type WhatIfStage struct {
+	// Name identifies the stage.
+	Name string
+	// Demand is the stage's service demand s/c in seconds; 1/Demand is its
+	// capacity. The stage with the largest demand is the bottleneck.
+	Demand float64
+	// Utilization is the measured rate × s / c, clamped to [0, 1].
+	Utilization float64
+	// Bottleneck marks the stage with the largest demand.
+	Bottleneck bool
+	// PayoffDoP is the predicted end-to-end throughput gain (items/sec)
+	// from granting the stage one more context.
+	PayoffDoP float64
+	// PayoffService is the predicted throughput derivative with respect to
+	// relative service-time reduction (items/sec per 100% speedup).
+	PayoffService float64
+	// Ready echoes the input's readiness sentinel.
+	Ready bool
+}
+
+// WhatIfReport ranks stages by predicted payoff per added context.
+type WhatIfReport struct {
+	// Stages is ranked best DoP payoff first (ties: service payoff, then
+	// demand, then name).
+	Stages []WhatIfStage
+	// Bottleneck names the largest-demand stage.
+	Bottleneck string
+	// Throughput is the model's baseline X(N) in items/sec.
+	Throughput float64
+	// ResponseTime is the predicted end-to-end per-item seconds: measured
+	// service + sojourn when sojourns are tracked, N/X otherwise.
+	ResponseTime float64
+	// Population is the job count N the model evaluated at.
+	Population float64
+	// MeasuredRate is the smallest positive measured stage rate — the
+	// observed end-to-end throughput, for comparison against the model.
+	MeasuredRate float64
+	// Valid reports whether the estimate is trustworthy; Reason says why
+	// not.
+	Valid  bool
+	Reason string
+}
+
+// whatIfEpsilon is the relative service-time reduction used for the
+// ∂X/∂service derivative.
+const whatIfEpsilon = 0.1
+
+// xModel is the balanced asymptotic bound on a closed network's throughput:
+// population-limited at N/ΣD, bottleneck-limited at 1/maxD.
+func xModel(n float64, demands []float64) float64 {
+	var sum, max float64
+	for _, d := range demands {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum <= 0 || max <= 0 || n <= 0 {
+		return 0
+	}
+	x := n / sum
+	if cap := 1 / max; x > cap {
+		x = cap
+	}
+	return x
+}
+
+// servers returns the effective server count of an input.
+func (in *WhatIfInput) servers() int {
+	if !in.Parallel {
+		return 1
+	}
+	if in.Workers < 1 {
+		return 1
+	}
+	return in.Workers
+}
+
+// population estimates the job count N in the closed system: queued items
+// plus items in service (Rate×s, Little's law). A stage that reports a
+// sojourn but no occupancy contributes Rate×Sojourn instead.
+func population(in []WhatIfInput) float64 {
+	var n float64
+	for i := range in {
+		q := in[i].Queue
+		if q <= 0 && in[i].Sojourn > 0 && in[i].Rate > 0 {
+			q = in[i].Rate * in[i].Sojourn
+		}
+		if q > 0 {
+			n += q
+		}
+		if in[i].Rate > 0 && in[i].ServiceTime > 0 {
+			n += in[i].Rate * in[i].ServiceTime
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// WhatIfThroughput evaluates the model's predicted end-to-end throughput for
+// the observed operating point with each stage's server count overridden by
+// workers (index-aligned; values < 1 mean "keep the observed count"). The
+// gradient mechanism uses it to score candidate context moves.
+func WhatIfThroughput(in []WhatIfInput, workers []int) float64 {
+	if len(in) == 0 {
+		return 0
+	}
+	n := population(in)
+	demands := make([]float64, len(in))
+	for i := range in {
+		c := in[i].servers()
+		if i < len(workers) && workers[i] >= 1 && in[i].Parallel {
+			c = workers[i]
+		}
+		demands[i] = in[i].ServiceTime / float64(c)
+	}
+	return xModel(n, demands)
+}
+
+// WhatIf computes the causal what-if report for one nest level's stages.
+func WhatIf(in []WhatIfInput) WhatIfReport {
+	rep := WhatIfReport{Valid: true}
+	if len(in) == 0 {
+		rep.Valid = false
+		rep.Reason = "no stages"
+		return rep
+	}
+	demands := make([]float64, len(in))
+	bottleneck := 0
+	for i := range in {
+		if !in[i].Ready && rep.Valid {
+			rep.Valid = false
+			rep.Reason = fmt.Sprintf("stage %q has no completed iteration yet", in[i].Name)
+		}
+		if in[i].ServiceTime <= 0 && rep.Valid {
+			rep.Valid = false
+			rep.Reason = fmt.Sprintf("stage %q has no service-time observation", in[i].Name)
+		}
+		demands[i] = in[i].ServiceTime / float64(in[i].servers())
+		if demands[i] > demands[bottleneck] {
+			bottleneck = i
+		}
+	}
+	n := population(in)
+	base := xModel(n, demands)
+	rep.Throughput = base
+	rep.Population = n
+	rep.Bottleneck = in[bottleneck].Name
+
+	var sojournSum float64
+	haveSojourn := false
+	for i := range in {
+		if in[i].Sojourn > 0 {
+			haveSojourn = true
+		}
+		sojournSum += in[i].ServiceTime + in[i].Sojourn
+		r := in[i].Rate
+		if r > 0 && (rep.MeasuredRate == 0 || r < rep.MeasuredRate) {
+			rep.MeasuredRate = r
+		}
+	}
+	if haveSojourn {
+		rep.ResponseTime = sojournSum
+	} else if base > 0 {
+		rep.ResponseTime = n / base
+	}
+
+	scratch := make([]float64, len(in))
+	rep.Stages = make([]WhatIfStage, len(in))
+	for i := range in {
+		st := WhatIfStage{
+			Name:       in[i].Name,
+			Demand:     demands[i],
+			Bottleneck: i == bottleneck,
+			Ready:      in[i].Ready,
+		}
+		if c := float64(in[i].servers()); in[i].ServiceTime > 0 {
+			st.Utilization = in[i].Rate * in[i].ServiceTime / c
+			if st.Utilization < 0 {
+				st.Utilization = 0
+			}
+			if st.Utilization > 1 {
+				st.Utilization = 1
+			}
+		}
+		// ∂X/∂DoP: one more context, everything else fixed.
+		if in[i].Parallel && (in[i].MaxDoP <= 0 || in[i].servers() < in[i].MaxDoP) {
+			copy(scratch, demands)
+			scratch[i] = in[i].ServiceTime / float64(in[i].servers()+1)
+			if x := xModel(n, scratch); x > base {
+				st.PayoffDoP = x - base
+			}
+		}
+		// ∂X/∂service: the stage ε faster, same width.
+		copy(scratch, demands)
+		scratch[i] = demands[i] * (1 - whatIfEpsilon)
+		if x := xModel(n, scratch); x > base {
+			st.PayoffService = (x - base) / whatIfEpsilon
+		}
+		rep.Stages[i] = st
+	}
+
+	sort.SliceStable(rep.Stages, func(a, b int) bool {
+		sa, sb := &rep.Stages[a], &rep.Stages[b]
+		if sa.PayoffDoP != sb.PayoffDoP {
+			return sa.PayoffDoP > sb.PayoffDoP
+		}
+		if sa.PayoffService != sb.PayoffService {
+			return sa.PayoffService > sb.PayoffService
+		}
+		if sa.Demand != sb.Demand {
+			return sa.Demand > sb.Demand
+		}
+		return sa.Name < sb.Name
+	})
+	rep.scrub()
+	return rep
+}
+
+// scrub zeroes non-finite figures (and invalidates the report): NaN/Inf must
+// never reach a mechanism's arithmetic or a JSON encoder.
+func (rep *WhatIfReport) scrub() {
+	bad := func(v *float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = 0
+			if rep.Valid {
+				rep.Valid = false
+				rep.Reason = "non-finite estimate scrubbed"
+			}
+		}
+	}
+	bad(&rep.Throughput)
+	bad(&rep.ResponseTime)
+	bad(&rep.Population)
+	bad(&rep.MeasuredRate)
+	for i := range rep.Stages {
+		st := &rep.Stages[i]
+		bad(&st.Demand)
+		bad(&st.Utilization)
+		bad(&st.PayoffDoP)
+		bad(&st.PayoffService)
+	}
+}

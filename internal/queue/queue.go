@@ -19,7 +19,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dope/internal/stats"
 )
+
+// sojournAlpha smooths the queue-sojourn EWMA. Sojourn is a per-item signal
+// read at control-tick granularity, so it smooths a little harder than the
+// monitor's default.
+const sojournAlpha = 0.2
 
 // ErrClosed is returned by Enqueue on a closed queue and by Dequeue once a
 // closed queue is fully drained.
@@ -89,6 +96,21 @@ type Queue[T any] struct {
 	// regression test for the enqueue side.
 	wakeCh chan struct{}
 
+	// Sojourn tracking: stamps mirrors items (each element's enqueue time in
+	// UnixNano) and every dequeue folds the item's wait into the EWMA.
+	// Shed items — the head dropped by ShedOldest, the newcomer refused by
+	// ShedNewest — are deliberately NOT folded: they never received service,
+	// and counting their waits would let survivorship skew the estimate the
+	// what-if profiler reads (under shed-oldest the longest waiters are
+	// exactly the ones dropped, so folding them would overstate the sojourn
+	// of the work that actually flowed — and folding the refused newcomers'
+	// zero waits would understate it). nowFn is the injectable clock for
+	// tests and simulations.
+	stamps     []int64
+	nowFn      func() int64
+	sojourn    *stats.EWMA
+	sojournObs uint64
+
 	occupancy atomic.Int64 // mirrors len(items) for lock-free Len
 	enqueued  atomic.Uint64
 	dequeued  atomic.Uint64
@@ -142,10 +164,15 @@ func (q *Queue[T]) Enqueue(item T) error {
 			var zero T
 			q.items[0] = zero
 			q.items = q.items[1:]
+			// Drop the head's stamp without folding it into the sojourn
+			// EWMA: a shed item was never served, and its (maximal) wait
+			// would skew the survivor estimate. See the stamps field doc.
+			q.stamps = q.stamps[1:]
 			q.shed.Add(1)
 		}
 	}
 	q.items = append(q.items, item)
+	q.stamps = append(q.stamps, q.nowNanosLocked())
 	n := int64(len(q.items))
 	q.occupancy.Store(n)
 	for {
@@ -181,6 +208,7 @@ func (q *Queue[T]) TryEnqueue(item T) (bool, error) {
 		return false, nil
 	}
 	q.items = append(q.items, item)
+	q.stamps = append(q.stamps, q.nowNanosLocked())
 	n := int64(len(q.items))
 	q.occupancy.Store(n)
 	for {
@@ -210,6 +238,8 @@ func (q *Queue[T]) Dequeue() (T, error) {
 	item := q.items[0]
 	q.items[0] = zero // allow GC of the element
 	q.items = q.items[1:]
+	q.observeSojournLocked(q.stamps[0])
+	q.stamps = q.stamps[1:]
 	q.occupancy.Store(int64(len(q.items)))
 	q.dequeued.Add(1)
 	q.notFull.Signal()
@@ -233,6 +263,8 @@ func (q *Queue[T]) TryDequeue() (T, bool, error) {
 	item := q.items[0]
 	q.items[0] = zero
 	q.items = q.items[1:]
+	q.observeSojournLocked(q.stamps[0])
+	q.stamps = q.stamps[1:]
 	q.occupancy.Store(int64(len(q.items)))
 	q.dequeued.Add(1)
 	q.notFull.Signal()
@@ -342,3 +374,60 @@ func (q *Queue[T]) Dequeued() uint64 { return q.dequeued.Load() }
 
 // Shed returns the total number of items dropped by the overload policy.
 func (q *Queue[T]) Shed() uint64 { return q.shed.Load() }
+
+// nowNanosLocked reads the queue's clock. Callers hold q.mu (nowFn is written by
+// SetNowFunc before the queue is shared).
+func (q *Queue[T]) nowNanosLocked() int64 {
+	if q.nowFn != nil {
+		return q.nowFn()
+	}
+	return time.Now().UnixNano()
+}
+
+// observeSojournLocked folds one dequeued item's wait into the sojourn EWMA.
+// Callers hold q.mu. Only served items reach here; the shed paths bypass it
+// by construction (see the stamps field doc).
+func (q *Queue[T]) observeSojournLocked(enqueuedAt int64) {
+	d := q.nowNanosLocked() - enqueuedAt
+	if d < 0 {
+		d = 0
+	}
+	if q.sojourn == nil {
+		q.sojourn = stats.NewEWMA(sojournAlpha)
+	}
+	q.sojourn.Observe(float64(d) / 1e9)
+	q.sojournObs++
+}
+
+// SetNowFunc installs a clock for sojourn stamps (UnixNano). Pass nil to
+// restore the wall clock. Intended for tests and virtual-time simulations;
+// call before the queue is shared between goroutines.
+func (q *Queue[T]) SetNowFunc(now func() int64) {
+	q.mu.Lock()
+	q.nowFn = now
+	q.mu.Unlock()
+}
+
+// MeanSojourn returns the smoothed queue wait in seconds of items that were
+// actually dequeued for service. Items dropped by a shed policy do not
+// contribute: under shed-oldest the longest waiters are exactly the dropped
+// ones, and folding them in would overstate the sojourn of the surviving
+// flow (and hence the apparent payoff of speeding up an overloaded stage).
+// Returns 0 before the first dequeue; check SojournSamples to distinguish
+// "fast" from "no data".
+func (q *Queue[T]) MeanSojourn() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.sojourn == nil {
+		return 0
+	}
+	return q.sojourn.Value()
+}
+
+// SojournSamples returns how many dequeued items have contributed to
+// MeanSojourn.
+func (q *Queue[T]) SojournSamples() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sojournObs
+}

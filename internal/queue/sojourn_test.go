@@ -1,0 +1,170 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSojournBasic pins the plain sojourn estimate: with a virtual clock and
+// constant waits the EWMA is exact.
+func TestSojournBasic(t *testing.T) {
+	q := New[int](0)
+	var now int64
+	q.SetNowFunc(func() int64 { return now })
+
+	if q.MeanSojourn() != 0 || q.SojournSamples() != 0 {
+		t.Fatal("fresh queue must report no sojourn data")
+	}
+	for i := 0; i < 5; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+		now += int64(7 * time.Millisecond)
+		if _, err := q.Dequeue(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.MeanSojourn(); math.Abs(got-0.007) > 1e-9 {
+		t.Fatalf("mean sojourn = %v, want 0.007", got)
+	}
+	if q.SojournSamples() != 5 {
+		t.Fatalf("samples = %d, want 5", q.SojournSamples())
+	}
+}
+
+// TestSojournTryPathsKeepStampsAligned drives the Try* paths and mixed
+// successes/refusals to check the stamp slice never desynchronizes from the
+// items.
+func TestSojournTryPathsKeepStampsAligned(t *testing.T) {
+	q := New[int64](2)
+	var now int64
+	q.SetNowFunc(func() int64 { return now })
+
+	for round := 0; round < 50; round++ {
+		now += int64(time.Millisecond)
+		if ok, _ := q.TryEnqueue(now); !ok && q.Len() < 2 {
+			t.Fatal("try-enqueue refused a non-full queue")
+		}
+		if round%3 == 2 {
+			now += int64(time.Millisecond)
+			v, ok, _ := q.TryDequeue()
+			if !ok {
+				t.Fatal("try-dequeue found empty queue mid-stream")
+			}
+			if now-v <= 0 {
+				t.Fatalf("non-positive wait for item stamped %d at %d", v, now)
+			}
+		}
+	}
+	// Drain: every remaining item's stamp must match its value.
+	for {
+		v, ok, _ := q.TryDequeue()
+		if !ok {
+			break
+		}
+		if v <= 0 || v > now {
+			t.Fatalf("desynchronized stamp %d", v)
+		}
+	}
+}
+
+// TestSojournExcludesShedOldest is the 2×-overload regression test for the
+// survivorship bugfix. Arrivals at twice the service rate into a shed-oldest
+// queue of capacity 4 reach a deterministic steady state where survivors
+// wait exactly 15 ms and the dropped heads 20 ms. The estimate must track
+// the survivors (~15 ms); an implementation that folds shed items into the
+// sojourn would settle near the interleaved mix (~17.5 ms) and overstate the
+// overloaded stage's queueing — exactly the skew the what-if profiler must
+// not see.
+func TestSojournExcludesShedOldest(t *testing.T) {
+	q := NewWithPolicy[int64](4, ShedOldest)
+	var now int64
+	q.SetNowFunc(func() int64 { return now })
+
+	shadow := make([]int64, 0, 4)
+	var servedTail, droppedTail float64
+	step := int64(5 * time.Millisecond)
+	for i := 0; i < 400; i++ {
+		now += step
+		if len(shadow) == 4 { // the enqueue below will shed the head
+			droppedTail = float64(now-shadow[0]) / 1e9
+			shadow = shadow[1:]
+		}
+		if err := q.Enqueue(now); err != nil {
+			t.Fatal(err)
+		}
+		shadow = append(shadow, now)
+		if i%2 == 1 { // service at half the arrival rate
+			v, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != shadow[0] {
+				t.Fatalf("queue served %d, shadow expected %d", v, shadow[0])
+			}
+			servedTail = float64(now-v) / 1e9
+			shadow = shadow[1:]
+		}
+	}
+	if q.Shed() == 0 {
+		t.Fatal("2x overload on a shed-oldest queue must shed")
+	}
+	if math.Abs(servedTail-0.015) > 1e-9 || math.Abs(droppedTail-0.020) > 1e-9 {
+		t.Fatalf("steady state drifted: served %v dropped %v", servedTail, droppedTail)
+	}
+	got := q.MeanSojourn()
+	if math.Abs(got-servedTail) > 0.002 {
+		t.Fatalf("sojourn = %v, want ~%v (survivors only)", got, servedTail)
+	}
+	if got >= droppedTail {
+		t.Fatalf("sojourn %v reached the shed items' wait %v: survivorship skew", got, droppedTail)
+	}
+}
+
+// TestSojournExcludesShedNewest: same 2× overload against shed-newest. The
+// refused newcomers never enter the queue, so their zero waits must not drag
+// the estimate down; survivors wait a full queue of service slots.
+func TestSojournExcludesShedNewest(t *testing.T) {
+	q := NewWithPolicy[int64](4, ShedNewest)
+	var now int64
+	q.SetNowFunc(func() int64 { return now })
+
+	shadow := make([]int64, 0, 4)
+	var servedTail float64
+	shed := 0
+	step := int64(5 * time.Millisecond)
+	for i := 0; i < 400; i++ {
+		now += step
+		err := q.Enqueue(now)
+		switch err {
+		case nil:
+			shadow = append(shadow, now)
+		case ErrShed:
+			shed++
+		default:
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			v, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != shadow[0] {
+				t.Fatalf("queue served %d, shadow expected %d", v, shadow[0])
+			}
+			servedTail = float64(now-v) / 1e9
+			shadow = shadow[1:]
+		}
+	}
+	if shed == 0 || q.Shed() != uint64(shed) {
+		t.Fatalf("shed accounting: test saw %d, queue says %d", shed, q.Shed())
+	}
+	got := q.MeanSojourn()
+	if math.Abs(got-servedTail) > 0.004 {
+		t.Fatalf("sojourn = %v, want ~%v (served items only)", got, servedTail)
+	}
+	if got < servedTail/2 {
+		t.Fatalf("sojourn %v collapsed below the served wait %v: refused items leaked in", got, servedTail)
+	}
+}

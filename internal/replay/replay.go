@@ -60,6 +60,9 @@ type StageObs struct {
 	LoadInstances int     `json:"loadInstances"`
 	Iterations    uint64  `json:"iterations"`
 	Completed     uint64  `json:"completed"`
+	Workers       int     `json:"workers,omitempty"`
+	Sojourn       float64 `json:"sojourn,omitempty"`
+	Observed      bool    `json:"observed,omitempty"`
 }
 
 // NestObs is one nest's observation subtree.
@@ -148,6 +151,7 @@ func encodeNest(n *core.NestReport) *NestObs {
 			Extent: st.Extent, ExecTime: st.ExecTime, MeanExecTime: st.MeanExecTime,
 			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
 			Iterations: st.Iterations, Completed: st.Completed,
+			Workers: st.Workers, Sojourn: st.QueueSojourn, Observed: st.Observed,
 		})
 	}
 	for k, v := range n.Children {
@@ -248,6 +252,7 @@ func decodeNest(n *NestObs, spec *core.NestSpec) *core.NestReport {
 			ExecTime: st.ExecTime, MeanExecTime: st.MeanExecTime,
 			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
 			Iterations: st.Iterations, Completed: st.Completed,
+			Workers: st.Workers, QueueSojourn: st.Sojourn, Observed: st.Observed,
 		})
 	}
 	for k, v := range n.Children {

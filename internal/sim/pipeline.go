@@ -610,6 +610,7 @@ func (s *pipeSim) report() *core.Report {
 			Load: float64(len(s.queues[i])), LoadInstances: 1,
 			Iterations: iters,
 			Rate:       float64(s.extents[i]) / t,
+			Observed:   true,
 		}
 	}
 	return &core.Report{

@@ -199,6 +199,7 @@ func ChannelPipeline[T any](name string, src <-chan T, stages []PipeStage[T], do
 					q := in
 					sf.Load = func() float64 { return float64(q.Len()) }
 					sf.Shed = q.Shed
+					sf.Sojourn = q.MeanSojourn
 				}
 				if out != nil {
 					sf.Fini = out.Close
