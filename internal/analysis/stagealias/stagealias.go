@@ -32,6 +32,14 @@
 // touch disjoint fields keep disjoint state and are not flagged; a
 // value-receiver method value copies the receiver when it is bound and
 // shares nothing.
+//
+// Helper-method calls keep that granularity instead of widening it: a
+// functor calling c.bump() on a captured receiver folds bump's
+// receiver-field reads and writes at the call site — when the callee is a
+// pointer-receiver method whose body is in the package — so the write to
+// c.n inside the helper conflicts with a sibling's read of c.n, while a
+// helper touching a disjoint field stays quiet. A value-receiver call or a
+// body out of reach falls back to a whole-variable (read-only) capture.
 package stagealias
 
 import (
@@ -126,13 +134,14 @@ func (s fnSite) end() token.Pos {
 
 func run(pass *framework.Pass) error {
 	decls := methodDecls(pass)
+	effects := make(map[*types.Func]*recvEffects)
 	for _, f := range pass.Files {
-		checkFile(pass, f, decls)
+		checkFile(pass, f, decls, effects)
 	}
 	return nil
 }
 
-func checkFile(pass *framework.Pass, f *ast.File, decls map[*types.Func]*ast.FuncDecl) {
+func checkFile(pass *framework.Pass, f *ast.File, decls map[*types.Func]*ast.FuncDecl, effects map[*types.Func]*recvEffects) {
 	sites := functorSites(pass.TypesInfo, f)
 	if len(sites) < 2 {
 		return
@@ -166,9 +175,9 @@ func checkFile(pass *framework.Pass, f *ast.File, decls map[*types.Func]*ast.Fun
 		fs := make([]*functor, len(group))
 		for i, s := range group {
 			if s.lit != nil {
-				fs[i] = analyze(pass, s.lit)
+				fs[i] = analyze(pass, s.lit, decls, effects)
 			} else {
-				fs[i] = analyzeMethod(pass, s.sel, decls)
+				fs[i] = analyzeMethod(pass, s.sel, decls, effects)
 			}
 		}
 		checkSharedWrites(pass, fs)
@@ -317,7 +326,7 @@ func innermost(bodies []*ast.BlockStmt, pos, end token.Pos) *ast.BlockStmt {
 
 // analyze walks one functor body and records its captured variables,
 // writes, sends, and receives.
-func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
+func analyze(pass *framework.Pass, lit *ast.FuncLit, decls map[*types.Func]*ast.FuncDecl, effects map[*types.Func]*recvEffects) *functor {
 	info := pass.TypesInfo
 	fn := &functor{
 		lit:    lit,
@@ -325,26 +334,13 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 		writes: make(map[access]token.Pos),
 		recvs:  make(map[*types.Var]bool),
 	}
-	// fieldOf maps a base identifier to the field directly selected from
-	// it (s in s.f, including through an auto-deref), so the Ident walk
-	// below records the field-granular access instead of the whole
-	// variable. An identifier used bare — passed along, aliased, method
-	// receiver — stays a whole-variable access.
-	fieldOf := make(map[*ast.Ident]*types.Var)
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := ast.Unparen(sel.X).(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if f := directField(info, sel); f != nil {
-			fieldOf[id] = f
-		}
-		return true
-	})
+	// fieldOf keeps the Ident walk below field-granular: an identifier used
+	// bare — passed along, aliased, method receiver — stays a whole-variable
+	// access. folded narrows helper-method calls the same way: the base of
+	// c.bump() contributes bump's receiver-field effects at the call site
+	// instead of a whole-variable capture of c.
+	fieldOf := fieldSelections(info, lit.Body)
+	folded := foldableCalls(pass, lit.Body, decls, effects)
 	capture := func(a access, pos token.Pos) bool {
 		if a.v == nil || !captured(pass, a.v, lit) {
 			return false
@@ -361,11 +357,38 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 			}
 		}
 	}
+	// fold records one access of a helper-method summary against the call's
+	// receiver variable, at the call site's position.
+	fold := func(a access, isWrite bool, pos token.Pos) {
+		if !capture(a, pos) {
+			return
+		}
+		if isWrite {
+			if _, ok := fn.writes[a]; !ok {
+				fn.writes[a] = pos
+			}
+		}
+	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.Ident:
 			obj := info.Uses[n]
 			if v, ok := obj.(*types.Var); ok {
+				if ce := folded[n]; ce != nil {
+					for f := range ce.reads {
+						fold(access{v: v, field: f}, false, n.Pos())
+					}
+					for f := range ce.writes {
+						fold(access{v: v, field: f}, true, n.Pos())
+					}
+					if ce.whole {
+						fold(access{v: v}, false, n.Pos())
+					}
+					if ce.wholeWrite {
+						fold(access{v: v}, true, n.Pos())
+					}
+					return true
+				}
 				capture(access{v: v, field: fieldOf[n]}, n.Pos())
 			}
 		case *ast.AssignStmt:
@@ -425,13 +448,15 @@ func analyze(pass *framework.Pass, lit *ast.FuncLit) *functor {
 // analyzeMethod resolves a method value installed as a stage functor and
 // records its receiver-field accesses as captures of the site's receiver
 // variable: with Fn: c.head and Fn: c.tail the shared state is the fields
-// of c, at the same field granularity as literal functors. Only a
-// pointer-receiver method aliases the site variable — a value-receiver
-// method value copies the receiver when it is bound, so whatever its body
-// touches is private to the copy. Sends and receives inside the method body
-// are not tracked: the captured-reference-send rule stays scoped to literal
-// functors, where the captured variable and the send share one body.
-func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*types.Func]*ast.FuncDecl) *functor {
+// of c, at the same field granularity as literal functors. Calls the method
+// makes to sibling helpers on its own receiver fold the helper's effects at
+// the call site. Only a pointer-receiver method aliases the site variable —
+// a value-receiver method value copies the receiver when it is bound, so
+// whatever its body touches is private to the copy. Sends and receives
+// inside the method body are not tracked: the captured-reference-send rule
+// stays scoped to literal functors, where the captured variable and the
+// send share one body.
+func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*types.Func]*ast.FuncDecl, effects map[*types.Func]*recvEffects) *functor {
 	info := pass.TypesInfo
 	fn := &functor{
 		caps:   make(map[access]token.Pos),
@@ -471,21 +496,8 @@ func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*type
 	// Same field-granularity walk as analyze, but only receiver-rooted
 	// accesses count, remapped onto the site variable so identity lines up
 	// across sibling methods and literals sharing the same receiver.
-	fieldOf := make(map[*ast.Ident]*types.Var)
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := ast.Unparen(sel.X).(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if f := directField(info, sel); f != nil {
-			fieldOf[id] = f
-		}
-		return true
-	})
+	fieldOf := fieldSelections(info, decl.Body)
+	folded := foldableCalls(pass, decl.Body, decls, effects)
 	remap := func(a access) (access, bool) {
 		if a.v != recvVar {
 			return access{}, false
@@ -505,10 +517,35 @@ func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*type
 			fn.writes[a] = e.Pos()
 		}
 	}
+	fold := func(a access, isWrite bool, pos token.Pos) {
+		if _, seen := fn.caps[a]; !seen {
+			fn.caps[a] = pos
+		}
+		if isWrite {
+			if _, seen := fn.writes[a]; !seen {
+				fn.writes[a] = pos
+			}
+		}
+	}
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.Ident:
-			if v, ok := info.Uses[n].(*types.Var); ok {
+			if v, ok := info.Uses[n].(*types.Var); ok && v == recvVar {
+				if ce := folded[n]; ce != nil {
+					for f := range ce.reads {
+						fold(access{v: siteRecv, field: f}, false, n.Pos())
+					}
+					for f := range ce.writes {
+						fold(access{v: siteRecv, field: f}, true, n.Pos())
+					}
+					if ce.whole {
+						fold(access{v: siteRecv}, false, n.Pos())
+					}
+					if ce.wholeWrite {
+						fold(access{v: siteRecv}, true, n.Pos())
+					}
+					return true
+				}
 				if a, ok := remap(access{v: v, field: fieldOf[n]}); ok {
 					if _, seen := fn.caps[a]; !seen {
 						fn.caps[a] = n.Pos()
@@ -537,6 +574,170 @@ func analyzeMethod(pass *framework.Pass, site *ast.SelectorExpr, decls map[*type
 		return true
 	})
 	return fn
+}
+
+// recvEffects summarizes what a pointer-receiver method does to its
+// receiver, position-free so one summary serves every call site: the direct
+// fields it reads and writes, and whether it touches the receiver as a
+// whole (aliased, passed along, read through a promoted field — whole; the
+// target of a store — wholeWrite).
+type recvEffects struct {
+	reads      map[*types.Var]bool
+	writes     map[*types.Var]bool
+	whole      bool
+	wholeWrite bool
+}
+
+// methodEffects computes m's receiver effects, folding calls it makes to
+// sibling methods on its own receiver, memoized in cache. It returns nil —
+// fold nothing, fall back to a whole-variable capture — for a
+// value-receiver method (the call acts on a copy) or a body out of reach
+// (another package, anonymous receiver). The summary is installed in cache
+// before the walk, so a recursive call chain folds the partial summary
+// instead of looping; the fixed point is under-approximated, which only
+// narrows the folded access set back toward the direct accesses.
+func methodEffects(pass *framework.Pass, m *types.Func, decls map[*types.Func]*ast.FuncDecl, cache map[*types.Func]*recvEffects) *recvEffects {
+	if m == nil {
+		return nil
+	}
+	m = m.Origin()
+	if eff, ok := cache[m]; ok {
+		return eff
+	}
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		return nil
+	}
+	decl := decls[m]
+	if decl == nil || decl.Body == nil || decl.Recv == nil ||
+		len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	info := pass.TypesInfo
+	recvVar, _ := info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	if recvVar == nil {
+		return nil
+	}
+	eff := &recvEffects{
+		reads:  make(map[*types.Var]bool),
+		writes: make(map[*types.Var]bool),
+	}
+	cache[m] = eff
+
+	fieldOf := fieldSelections(info, decl.Body)
+	folded := foldableCalls(pass, decl.Body, decls, cache)
+	write := func(e ast.Expr) {
+		a := rootAccess(info, e)
+		if a.v != recvVar {
+			return
+		}
+		if a.field != nil {
+			eff.writes[a.field] = true
+		} else {
+			eff.wholeWrite = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, _ := info.Uses[n].(*types.Var); v == recvVar && v != nil {
+				switch {
+				case folded[n] != nil:
+					ce := folded[n]
+					for f := range ce.reads {
+						eff.reads[f] = true
+					}
+					for f := range ce.writes {
+						eff.writes[f] = true
+					}
+					eff.whole = eff.whole || ce.whole
+					eff.wholeWrite = eff.wholeWrite || ce.wholeWrite
+				case fieldOf[n] != nil:
+					eff.reads[fieldOf[n]] = true
+				default:
+					eff.whole = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				write(lhs)
+			}
+		case *ast.IncDecStmt:
+			write(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					write(n.Key)
+				}
+				if n.Value != nil {
+					write(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return eff
+}
+
+// fieldSelections maps each base identifier in body to the field directly
+// selected from it (s in s.f, including through an auto-deref), so an Ident
+// walk records field-granular accesses instead of whole variables.
+func fieldSelections(info *types.Info, body *ast.BlockStmt) map[*ast.Ident]*types.Var {
+	fieldOf := make(map[*ast.Ident]*types.Var)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if f := directField(info, sel); f != nil {
+			fieldOf[id] = f
+		}
+		return true
+	})
+	return fieldOf
+}
+
+// foldableCalls maps the base identifier of each method call in body whose
+// receiver effects are computable (c in c.bump()) to the callee's summary.
+// The caller folds the summary at the call site and skips the whole-variable
+// capture the bare identifier would otherwise record.
+func foldableCalls(pass *framework.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, cache map[*types.Func]*recvEffects) map[*ast.Ident]*recvEffects {
+	info := pass.TypesInfo
+	folded := make(map[*ast.Ident]*recvEffects)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		callee, _ := s.Obj().(*types.Func)
+		if ce := methodEffects(pass, callee, decls, cache); ce != nil {
+			folded[id] = ce
+		}
+		return true
+	})
+	return folded
 }
 
 // methodDecls indexes the package's method declarations by their type

@@ -1,0 +1,174 @@
+// Helper-method calls from stage functors: a call to a pointer-receiver
+// method on a captured variable folds the method's receiver-field effects
+// at the call site — a helper writing a shared field is the shared-capture
+// bug even when the functor body never names the field, and a helper
+// touching a disjoint field must stay quiet.
+package stagealias
+
+import (
+	"dope/internal/core"
+	"dope/internal/queue"
+)
+
+// hitCounter is mutated only through its methods: the functors below never
+// name the n field directly.
+type hitCounter struct {
+	n int
+}
+
+func (h *hitCounter) bump() { h.n++ }
+
+func (h *hitCounter) value() int { return h.n }
+
+// helperWritesSharedField: the head functor writes h.n through h.bump() and
+// the tail reads it through h.value() — shared written state laundered
+// through helper methods.
+func helperWritesSharedField(q *queue.Queue[int]) *core.AltInstance {
+	h := &hitCounter{}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				h.bump() // want `stage functor writes "h.n", which a sibling stage functor also captures`
+				q.Enqueue(h.value())
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				sink(v + h.value())
+				return w.End()
+			},
+		},
+	}}
+}
+
+// gaugePair splits its fields between the stages: the helper touches only
+// a, the sibling functor only b.
+type gaugePair struct {
+	a int
+	b int
+}
+
+func (g *gaugePair) setA(v int) { g.a = v }
+
+func (g *gaugePair) sumA() int { return g.a }
+
+// snapshot takes the receiver by value: the call acts on a copy, so it
+// folds to nothing and the capture falls back to the whole variable
+// (read-only).
+func (g gaugePair) snapshot() int { return g.a + g.b }
+
+// disjointHelperFields is the false-positive regression: before folding,
+// the bare g in g.setA(1) was a whole-variable capture that conflicted with
+// the sibling's write of g.b. The helper's effects are {g.a}, disjoint from
+// g.b — quiet.
+func disjointHelperFields(q *queue.Queue[int]) *core.AltInstance {
+	g := &gaugePair{}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				g.setA(1)
+				q.Enqueue(g.sumA())
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				g.b += v
+				sink(g.b)
+				return w.End()
+			},
+		},
+	}}
+}
+
+// valueHelperStillConflicts pins the conservative fallback: a value-receiver
+// helper call captures the whole variable, which overlaps the sibling's
+// field write.
+func valueHelperStillConflicts(q *queue.Queue[int]) *core.AltInstance {
+	g := &gaugePair{}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{
+			Fn: func(w *core.Worker) core.Status {
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				g.a++ // want `stage functor writes "g.a", which a sibling stage functor also captures`
+				x := g.a
+				q.Enqueue(x)
+				return w.End()
+			},
+		},
+		{
+			Fn: func(w *core.Worker) core.Status {
+				v, err := q.Dequeue()
+				if err != nil {
+					return core.Finished
+				}
+				if w.Begin() == core.Suspended {
+					return core.Suspended
+				}
+				sink(v + g.snapshot())
+				return w.End()
+			},
+		},
+	}}
+}
+
+// chainStages writes through a helper called on the stage method's own
+// receiver: head -> note -> hits, which tail reads directly.
+type chainStages struct {
+	q    *queue.Queue[int]
+	hits int
+}
+
+func (c *chainStages) note() { c.hits++ }
+
+func (c *chainStages) head(w *core.Worker) core.Status {
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	c.note() // want `stage functor writes "c.hits", which a sibling stage functor also captures`
+	c.q.Enqueue(c.hits)
+	return w.End()
+}
+
+func (c *chainStages) tail(w *core.Worker) core.Status {
+	v, err := c.q.Dequeue()
+	if err != nil {
+		return core.Finished
+	}
+	if w.Begin() == core.Suspended {
+		return core.Suspended
+	}
+	observe(v + c.hits)
+	return w.End()
+}
+
+func methodHelperChain(q *queue.Queue[int]) *core.AltInstance {
+	c := &chainStages{q: q}
+	return &core.AltInstance{Stages: []core.StageFns{
+		{Fn: c.head},
+		{Fn: c.tail},
+	}}
+}

@@ -18,8 +18,12 @@ import (
 // and the reconfiguration protocol. Construct with New, launch with Start,
 // and join with Wait — the Go spelling of DoPE::create / DoPE::destroy.
 type Exec struct {
-	root     *NestSpec
-	contexts *platform.Contexts
+	root *NestSpec
+	// name identifies this executive when several share a machine (the
+	// tenancy arbiter registers each tenant's nest under its tenant name);
+	// empty for a single-tenant process.
+	name     string
+	contexts platform.ContextPool
 	features *platform.Features
 	clock    platform.Clock
 	// The Begin/End hot path's clock: nowNanos returns the current time as
@@ -176,9 +180,22 @@ func WithContexts(n int) Option {
 }
 
 // WithContextPool installs a caller-owned context pool, letting several
-// executives share one platform.
-func WithContextPool(p *platform.Contexts) Option {
-	return func(e *Exec) { e.contexts = p }
+// executives share one platform. The pool may be a *platform.Contexts
+// (direct sharing) or a *platform.TenantPool (a quota-bounded view granted
+// by a tenancy arbiter).
+func WithContextPool(p platform.ContextPool) Option {
+	return func(e *Exec) {
+		if p != nil {
+			e.contexts = p
+		}
+	}
+}
+
+// WithName sets the executive's tenant identity: the name shows up on
+// reports, admin surfaces, and run errors so that a machine running many
+// nests can attribute behavior to the tenant that caused it.
+func WithName(name string) Option {
+	return func(e *Exec) { e.name = name }
 }
 
 // WithMechanism installs the adaptation mechanism. A nil mechanism leaves
@@ -335,8 +352,13 @@ func (e *Exec) nowNanos() int64 {
 	return e.slowClock()
 }
 
-// Contexts returns the executive's hardware-context pool.
-func (e *Exec) Contexts() *platform.Contexts { return e.contexts }
+// Contexts returns the executive's hardware-context pool (the machine pool,
+// or this tenant's quota-bounded view of it).
+func (e *Exec) Contexts() platform.ContextPool { return e.contexts }
+
+// Name returns the executive's tenant identity ("" for a single-tenant
+// process).
+func (e *Exec) Name() string { return e.name }
 
 // Features returns the platform feature registry for mechanism-developer
 // registrations (Figure 9).

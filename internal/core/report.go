@@ -108,6 +108,9 @@ func (n *NestReport) Stage(name string) *StageReport {
 // Report is the complete observation snapshot handed to a mechanism on each
 // control tick.
 type Report struct {
+	// Tenant is the executive's identity when several share a machine
+	// (WithName); "" for a single-tenant process.
+	Tenant string
 	// Time is the executive uptime at snapshot.
 	Time time.Duration
 	// Contexts is the hardware-context budget; BusyContexts the current
@@ -156,6 +159,7 @@ type Mechanism interface {
 func (e *Exec) Report() *Report {
 	cfg := e.cfg.Load()
 	rep := &Report{
+		Tenant:          e.name,
 		Time:            e.Uptime(),
 		Contexts:        e.contexts.N(),
 		BusyContexts:    e.contexts.Busy(),

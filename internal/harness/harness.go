@@ -111,6 +111,7 @@ func Experiments() [][2]string {
 		{"ext-edp", "EXTENSION: the min energy-delay-product goal"},
 		{"ext-whatif", "EXTENSION: ferret what-if profile (causal virtual speedups)"},
 		{"ext-whatif-gradient", "EXTENSION: what-if Gradient vs statics and §7 mechanisms"},
+		{"tenants", "EXTENSION: multi-tenant isolation — misbehaver at 2x overload + 1% panics, arbitrated vs free-for-all"},
 		{"table4", "application port summary"},
 		{"table5", "ferret/dedup throughput by mechanism (Figure 15)"},
 		{"reconfig-dip", "real-runtime reconfiguration cost: in-place resize vs whole-nest respawn"},
@@ -163,6 +164,8 @@ func Run(id string, scale float64) (*Table, error) {
 		return ExtWhatIfProfile(scale), nil
 	case "ext-whatif-gradient":
 		return ExtWhatIfGradient(scale), nil
+	case "tenants":
+		return Tenants(scale), nil
 	case "table4":
 		return Table4(), nil
 	case "table5":

@@ -12,13 +12,19 @@
 //   - BeginEndContended8: eight workers on eight contexts hammering the
 //     token pool, the per-slot monitor accumulators, and the shared stage
 //     aggregate concurrently.
+//   - BeginEndMultiTenant: two single-worker tenants acquiring through
+//     per-tenant quota pools layered over one shared context pool — the
+//     multi-tenant fast path (quota CAS + shared CAS per Begin). Also
+//     gated at 0 allocs/op.
 package microbench
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"dope/internal/core"
+	"dope/internal/platform"
 )
 
 // Result is one benchmark measurement.
@@ -91,18 +97,58 @@ func runBeginEnd(workers int) func(b *testing.B) {
 	}
 }
 
+// runBeginEndMultiTenant measures the tenant-pool Begin/End path: two
+// single-worker executives, each acquiring through its own
+// platform.TenantPool (quota 1) over one shared two-context pool. Both
+// tenants stay inside their quota, so every iteration takes the quota-CAS +
+// shared-CAS fast path — the per-Begin cost of multi-tenancy.
+func runBeginEndMultiTenant(b *testing.B) {
+	b.ReportAllocs()
+	const tenants = 2
+	shared := platform.NewContexts(tenants)
+	quota := (b.N + tenants - 1) / tenants
+	execs := make([]*core.Exec, tenants)
+	for i := range execs {
+		tp := platform.NewTenantPool(shared, 1)
+		e, err := core.New(beginEndSpec(quota, 1),
+			core.WithContextPool(tp),
+			core.WithInitialConfig(&core.Config{Extents: []int{1}}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		execs[i] = e
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make([]error, tenants)
+	for i, e := range execs {
+		wg.Add(1)
+		go func(i int, e *core.Exec) {
+			defer wg.Done()
+			errs[i] = e.Run()
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BeginEnd runs the Begin/End suite and returns its results.
 func BeginEnd() []Result {
 	cases := []struct {
-		name    string
-		workers int
+		name  string
+		bench func(b *testing.B)
 	}{
-		{"BeginEnd", 1},
-		{"BeginEndContended8", 8},
+		{"BeginEnd", runBeginEnd(1)},
+		{"BeginEndContended8", runBeginEnd(8)},
+		{"BeginEndMultiTenant", runBeginEndMultiTenant},
 	}
 	out := make([]Result, 0, len(cases))
 	for _, c := range cases {
-		r := testing.Benchmark(runBeginEnd(c.workers))
+		r := testing.Benchmark(c.bench)
 		out = append(out, Result{
 			Name:        c.name,
 			Iterations:  r.N,
@@ -115,11 +161,11 @@ func BeginEnd() []Result {
 }
 
 // Gate enforces the benchmark acceptance floor: the uncontended Begin/End
-// path must be allocation-free. It returns an error naming the first
-// violation.
+// path must be allocation-free, single- and multi-tenant alike. It returns
+// an error naming the first violation.
 func Gate(results []Result) error {
 	for _, r := range results {
-		if r.Name == "BeginEnd" && r.AllocsPerOp > 0 {
+		if (r.Name == "BeginEnd" || r.Name == "BeginEndMultiTenant") && r.AllocsPerOp > 0 {
 			return fmt.Errorf("microbench: %s allocates %d objects/op, want 0 (Begin/End fast path must be allocation-free)",
 				r.Name, r.AllocsPerOp)
 		}

@@ -1,0 +1,255 @@
+package platform
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTenantPoolQuotaBounds(t *testing.T) {
+	shared := NewContexts(8)
+	tp := NewTenantPool(shared, 3)
+	if tp.N() != 3 || tp.Quota() != 3 {
+		t.Fatalf("quota = %d, want 3", tp.N())
+	}
+	for i := 0; i < 3; i++ {
+		if !tp.TryAcquire() {
+			t.Fatalf("TryAcquire %d under quota failed", i)
+		}
+	}
+	if tp.TryAcquire() {
+		t.Fatal("TryAcquire beyond quota succeeded")
+	}
+	if tp.Busy() != 3 || tp.Idle() != 0 {
+		t.Fatalf("busy=%d idle=%d, want 3/0", tp.Busy(), tp.Idle())
+	}
+	if shared.Busy() != 3 {
+		t.Fatalf("shared busy = %d, want 3", shared.Busy())
+	}
+	for i := 0; i < 3; i++ {
+		tp.Release()
+	}
+	if shared.Busy() != 0 || tp.Busy() != 0 {
+		t.Fatalf("after releases: shared busy=%d tenant busy=%d", shared.Busy(), tp.Busy())
+	}
+}
+
+func TestTenantPoolClampsQuotaToShared(t *testing.T) {
+	shared := NewContexts(4)
+	tp := NewTenantPool(shared, 99)
+	if tp.N() != 4 {
+		t.Fatalf("quota = %d, want clamp to 4", tp.N())
+	}
+	tp.SetQuota(-5)
+	if tp.N() != 0 {
+		t.Fatalf("quota = %d, want clamp to 0", tp.N())
+	}
+}
+
+func TestTenantPoolReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unmatched Release")
+		}
+	}()
+	tp := NewTenantPool(NewContexts(2), 2)
+	tp.Release()
+}
+
+func TestTenantPoolAcquireBlocksAtQuota(t *testing.T) {
+	shared := NewContexts(4)
+	tp := NewTenantPool(shared, 1)
+	tp.Acquire()
+	got := make(chan struct{})
+	go func() {
+		tp.Acquire()
+		close(got)
+	}()
+	waitCond(t, func() bool { return tp.Blocked() == 1 })
+	select {
+	case <-got:
+		t.Fatal("second Acquire ran past a quota of 1")
+	default:
+	}
+	tp.Release()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Acquire never woke after Release")
+	}
+	tp.Release()
+}
+
+func TestTenantPoolSetQuotaWakesWaiters(t *testing.T) {
+	shared := NewContexts(4)
+	tp := NewTenantPool(shared, 0)
+	got := make(chan struct{})
+	go func() {
+		tp.Acquire()
+		close(got)
+	}()
+	waitCond(t, func() bool { return tp.Blocked() == 1 })
+	tp.SetQuota(2)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire never woke after SetQuota raised the quota")
+	}
+	tp.Release()
+}
+
+func TestTenantPoolOverQuotaDebtDrains(t *testing.T) {
+	shared := NewContexts(8)
+	tp := NewTenantPool(shared, 4)
+	for i := 0; i < 4; i++ {
+		tp.Acquire()
+	}
+	tp.SetQuota(1)
+	if got := tp.OverQuota(); got != 3 {
+		t.Fatalf("OverQuota = %d, want 3", got)
+	}
+	if tp.TryAcquire() {
+		t.Fatal("TryAcquire admitted while over quota")
+	}
+	for i := 0; i < 3; i++ {
+		tp.Release()
+	}
+	if got := tp.OverQuota(); got != 0 {
+		t.Fatalf("OverQuota after drain = %d, want 0", got)
+	}
+	// used == quota == 1: still no headroom.
+	if tp.TryAcquire() {
+		t.Fatal("TryAcquire admitted at quota")
+	}
+	tp.Release()
+	if !tp.TryAcquire() {
+		t.Fatal("TryAcquire refused under quota after debt drained")
+	}
+	tp.Release()
+}
+
+// TestTenantPoolIsolation pins the containment invariant: with
+// sum(quota_i) <= N, a tenant that exhausts its own quota (its workers stuck
+// holding tokens) never makes another tenant's under-quota Acquire block.
+func TestTenantPoolIsolation(t *testing.T) {
+	shared := NewContexts(4)
+	hog := NewTenantPool(shared, 2)
+	victim := NewTenantPool(shared, 2)
+	hog.Acquire()
+	hog.Acquire() // hog wedged at quota, tokens never released
+	done := make(chan struct{})
+	go func() {
+		victim.Acquire()
+		victim.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim's under-quota Acquire blocked behind the hog")
+	}
+	if shared.Busy() != 4 {
+		t.Fatalf("shared busy = %d, want 4", shared.Busy())
+	}
+	victim.Release()
+	victim.Release()
+	hog.Release()
+	hog.Release()
+}
+
+func TestTenantPoolTryAcquireRollsBackQuotaOnSharedExhaustion(t *testing.T) {
+	shared := NewContexts(2)
+	other := NewTenantPool(shared, 2)
+	tp := NewTenantPool(shared, 2) // overcommitted on purpose: 2+2 > 2
+	other.Acquire()
+	other.Acquire()
+	if tp.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with the shared pool empty")
+	}
+	if tp.Busy() != 0 {
+		t.Fatalf("quota slot leaked: busy = %d, want 0", tp.Busy())
+	}
+	other.Release()
+	other.Release()
+}
+
+func TestTenantPoolStats(t *testing.T) {
+	shared := NewContexts(8)
+	tp := NewTenantPool(shared, 4)
+	tp.Acquire()
+	tp.Acquire()
+	if tp.Peak() != 2 {
+		t.Fatalf("peak = %d, want 2", tp.Peak())
+	}
+	if tp.Acquires() != 2 {
+		t.Fatalf("acquires = %d, want 2", tp.Acquires())
+	}
+	if m := tp.MeanOccupancy(); m < 1 || m > 2 {
+		t.Fatalf("mean occupancy = %v, want within [1,2]", m)
+	}
+	tp.Release()
+	tp.Release()
+}
+
+// TestTenantPoolConcurrentChurn hammers two tenants over one shared pool
+// while quotas move, then checks the global balance invariant: all tokens
+// return and no tenant leaks quota slots.
+func TestTenantPoolConcurrentChurn(t *testing.T) {
+	const n = 8
+	shared := NewContexts(n)
+	a := NewTenantPool(shared, n/2)
+	b := NewTenantPool(shared, n/2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	worker := func(tp *TenantPool) {
+		defer wg.Done()
+		for !stop.Load() {
+			tp.Acquire()
+			tp.Release()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go worker(a)
+		go worker(b)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		quotas := []int{1, 3, 2, 4, 1, 2}
+		for i := 0; !stop.Load(); i++ {
+			q := quotas[i%len(quotas)]
+			a.SetQuota(q)
+			b.SetQuota(n - q)
+			time.Sleep(time.Millisecond)
+		}
+		// Leave both quotas open so parked workers can finish their
+		// in-flight Acquire and observe stop.
+		a.SetQuota(n / 2)
+		b.SetQuota(n / 2)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if shared.Busy() != 0 {
+		t.Fatalf("shared busy = %d after churn, want 0", shared.Busy())
+	}
+	if a.Busy() != 0 || b.Busy() != 0 {
+		t.Fatalf("tenant busy = %d/%d after churn, want 0/0", a.Busy(), b.Busy())
+	}
+	if a.Peak() > n || b.Peak() > n {
+		t.Fatalf("tenant peak %d/%d exceeds machine size %d", a.Peak(), b.Peak(), n)
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
