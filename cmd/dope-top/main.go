@@ -1,0 +1,187 @@
+// Command dope-top is the live ops view of a DoPE executive: the nest tree
+// with per-stage gauges and sparkline extents, the mechanism decision log,
+// and — against a multi-tenant machine — the tenant arbitration table.
+//
+// It has two sources and one render path. Live mode polls an admin
+// endpoint's GET /report (and GET /series when a metrics collector is
+// attached); replay mode reads a JSONL snapshot log recorded with
+// dope-trace -record or dope-bench. Both feed the same topui.Frame, so a
+// recorded incident replays through the identical screen the operator
+// watched live.
+//
+// Usage:
+//
+//	dope-top -addr localhost:7117              # live, single tenant
+//	dope-top -addr localhost:7117/tenants/video
+//	dope-top -replay run.jsonl                 # animate a recording
+//	dope-top -replay run.jsonl -once           # final frame only (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dope/internal/metrics"
+	"dope/internal/replay"
+	"dope/internal/topui"
+)
+
+const clearScreen = "\x1b[H\x1b[2J"
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "admin endpoint to poll (host:port or URL; append /tenants/<name> for one tenant of a machine)")
+		replayAt = flag.String("replay", "", "replay a recorded JSONL snapshot log instead of polling")
+		interval = flag.Duration("interval", 500*time.Millisecond, "poll/frame interval")
+		window   = flag.Int("window", 240, "points retained per series")
+		spark    = flag.Int("spark", 24, "sparkline width in cells")
+		rows     = flag.Int("decisions", 8, "decision-log tail rows")
+		once     = flag.Bool("once", false, "render one frame to stdout and exit (headless smoke)")
+	)
+	flag.Parse()
+
+	opts := topui.Opts{SparkWidth: *spark, Decisions: *rows}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	switch {
+	case *replayAt != "":
+		os.Exit(runReplay(*replayAt, opts, *interval, *window, *once, sig))
+	case *addr != "":
+		os.Exit(runLive(*addr, opts, *interval, *window, *once, sig))
+	default:
+		fmt.Fprintln(os.Stderr, "dope-top: need -addr or -replay")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runReplay feeds a recorded log through the shared render path. Animated
+// mode redraws one frame per entry; -once ingests everything and prints the
+// final screen, which is what the CI smoke step diffs.
+func runReplay(path string, opts topui.Opts, interval time.Duration, window int, once bool, sig <-chan os.Signal) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-top:", err)
+		return 1
+	}
+	entries, err := replay.ReadLog(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dope-top:", err)
+		return 1
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "dope-top: empty log", path)
+		return 1
+	}
+	opts.Title = "dope-top (replay " + path + ")"
+	m := topui.NewModel(window, opts)
+	defer m.Close()
+
+	if once {
+		for _, e := range entries {
+			m.Ingest(e)
+		}
+		fmt.Print(m.Frame())
+		return 0
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i, e := range entries {
+		m.Ingest(e)
+		fmt.Print(clearScreen + m.Frame())
+		fmt.Printf("\n[%d/%d snapshots]\n", i+1, len(entries))
+		if i == len(entries)-1 {
+			break
+		}
+		select {
+		case <-sig:
+			return 0
+		case <-tick.C:
+		}
+	}
+	return 0
+}
+
+// runLive polls the admin surface. Every poll fetches /report (a
+// replay.Entry — the same shape replay mode reads from disk) and feeds it
+// into a local model; when the server has a collector attached, /series
+// supplies its richer snapshot (live decision log, tenant table, power) and
+// the frame renders from that instead of the locally synthesized one.
+func runLive(addr string, opts topui.Opts, interval time.Duration, window int, once bool, sig <-chan os.Signal) int {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	opts.Title = "dope-top " + base
+	client := &http.Client{Timeout: 5 * time.Second}
+	m := topui.NewModel(window, opts)
+	defer m.Close()
+
+	render := func() error {
+		var e replay.Entry
+		if err := getJSON(client, base+"/report", &e); err != nil {
+			return fmt.Errorf("%s/report: %w", base, err)
+		}
+		m.Ingest(&e)
+		var snap metrics.Snapshot
+		frame := ""
+		if err := getJSON(client, base+"/series", &snap); err == nil {
+			frame = topui.Frame(&e, &snap, opts)
+		} else {
+			frame = m.Frame() // no collector server-side: synthesize locally
+		}
+		if once {
+			fmt.Print(frame)
+		} else {
+			fmt.Print(clearScreen + frame)
+		}
+		return nil
+	}
+
+	if once {
+		if err := render(); err != nil {
+			fmt.Fprintln(os.Stderr, "dope-top:", err)
+			return 1
+		}
+		return 0
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		if err := render(); err != nil {
+			// The executive may be between runs; keep polling until signaled.
+			fmt.Print(clearScreen)
+			fmt.Println("dope-top:", err)
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return 0
+		case <-tick.C:
+		}
+	}
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -111,10 +111,18 @@ func main() {
 		d.RegisterPowerModel(50 * time.Millisecond)
 	}
 
+	// Ctrl-C stops the nest through the drain protocol, so the submit loop
+	// below unblocks, the recorder flushes its last snapshot, and the log
+	// stays parseable.
+	defer d.StopOnInterrupt()()
+
 	if *adminAt != "" {
+		col, release := d.AttachCollector(512, 20*time.Millisecond)
+		defer release()
 		go func() {
-			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats,whatif,healthz}\n", *adminAt)
-			if err := admin.NewServer(*adminAt, d.AdminHandler()).ListenAndServe(); err != nil {
+			fmt.Printf("admin endpoint: http://%s/{report,config,mechanism,stats,series,whatif,healthz}  (dope-top -addr %s)\n",
+				*adminAt, *adminAt)
+			if err := admin.NewServer(*adminAt, d.AdminHandlerWithCollector(col)).ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "dope-trace: admin:", err)
 			}
 		}()
@@ -158,13 +166,24 @@ func main() {
 		seqExec := 0.05 // rough per-request seconds at these parameters
 		maxTp := float64(*threads) / seqExec
 		arr := workload.NewArrivals(workload.LoadFactor(*loadF).RateFor(maxTp), 7)
+	feed:
 		for i := 0; i < *requests; i++ {
-			time.Sleep(arr.Next())
+			select {
+			case <-d.Done(): // interrupted: stop feeding, drain what's queued
+				break feed
+			case <-time.After(arr.Next()):
+			}
 			s.Submit(1.0)
 		}
 	} else {
 		for i := 0; i < *requests; i++ {
-			s.Submit(1.0)
+			select {
+			case <-d.Done():
+			default:
+				s.Submit(1.0)
+				continue
+			}
+			break
 		}
 	}
 	s.Close()

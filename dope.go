@@ -38,12 +38,16 @@ package dope
 
 import (
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"dope/internal/admin"
 	"dope/internal/core"
 	"dope/internal/mechanism"
+	"dope/internal/metrics"
 	"dope/internal/monitor"
 	"dope/internal/platform"
 	"dope/internal/power"
@@ -337,6 +341,52 @@ func (d *DoPE) SetGoal(g Goal) {
 // system (the paper's DoPE::destroy). It returns the first task error.
 func (d *DoPE) Destroy() error { return d.Wait() }
 
+// StopOnInterrupt installs a SIGINT/SIGTERM handler that stops the nest:
+// the current run is suspended through the normal drain protocol and not
+// respawned, so a pending Destroy/Wait returns and deferred cleanup
+// (recorder flushes, admin shutdown) runs. A second signal restores the
+// default disposition, so a stuck drain can still be killed with another
+// Ctrl-C. The returned release removes the handler; releasing after a
+// signal fired is a no-op.
+func (d *DoPE) StopOnInterrupt() (release func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	quit := make(chan struct{})
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(quit)
+		})
+	}
+	go func() {
+		select {
+		case <-quit:
+			return
+		case <-ch:
+		}
+		signal.Stop(ch) // second signal falls through to the default action
+		d.Stop()
+	}()
+	return release
+}
+
+// AttachCollector starts a live-ops metrics collector on this executive:
+// it taps the trace event stream for the decision log and samples Report
+// into ring-buffered time series (window points each) every interval.
+// Sampling runs off the hot path — Begin/End never blocks on it. The
+// returned release detaches the tap, stops the sampler, and closes the
+// collector; pass the collector to AdminHandlerWithCollector to serve it
+// at GET /series for dope-top.
+func (d *DoPE) AttachCollector(window int, interval time.Duration) (*metrics.Collector, func()) {
+	col := metrics.NewCollector(window)
+	detach := col.Attach(d.Exec, interval)
+	return col, func() {
+		detach()
+		col.Close()
+	}
+}
+
 // Mechanisms exposes the shipped mechanism constructors so applications and
 // experiments can assemble goals beyond the defaults. Each field mirrors a
 // mechanism of the paper's §7; see package internal/mechanism.
@@ -385,7 +435,12 @@ var Mechanisms = struct {
 // behind a server with sane timeouts, e.g.:
 //
 //	go admin.NewServer("localhost:7117", d.AdminHandler()).ListenAndServe()
-func (d *DoPE) AdminHandler() http.Handler {
+func (d *DoPE) AdminHandler() http.Handler { return d.AdminHandlerWithCollector(nil) }
+
+// AdminHandlerWithCollector is AdminHandler plus GET /series backed by a
+// collector from AttachCollector — the ring-buffered time-series feed
+// dope-top polls. With a nil collector, /series answers 404.
+func (d *DoPE) AdminHandlerWithCollector(col *metrics.Collector) http.Handler {
 	threads := d.Goal().Threads
 	if threads <= 0 {
 		threads = d.Contexts().N()
@@ -403,7 +458,7 @@ func (d *DoPE) AdminHandler() http.Handler {
 		"loadprop":     func() Mechanism { return Mechanisms.LoadProp(threads) },
 		"gradient":     func() Mechanism { return Mechanisms.Gradient(threads) },
 	}
-	return admin.Handler(d.Exec, factories)
+	return admin.HandlerWithCollector(d.Exec, factories, col)
 }
 
 // RegisterPowerModel wires the simulated power substrate into the

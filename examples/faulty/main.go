@@ -96,6 +96,7 @@ func runPolicy(policy dope.FailurePolicy) {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 	for i := 1; i <= requests; i++ {
 		work.Enqueue(i)
 	}

@@ -46,6 +46,7 @@ func run(label string, params apps.FerretParams, mech dope.Mechanism, extents []
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 	start := time.Now()
 	for i := 0; i < queries; i++ {
 		s.Submit(1.0)

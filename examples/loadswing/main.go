@@ -47,6 +47,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 
 	// Calibrated offline: ~20 ms per fused transcode on 24 contexts.
 	maxTp := float64(threads) / 0.020

@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dope/internal/core"
@@ -123,6 +125,18 @@ func main() {
 		}
 		tenants[wl.name] = tn
 	}
+
+	// Ctrl-C stops every tenant's executive through the drain protocol so
+	// the Wait loop below returns and the isolation report still prints.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		for _, tn := range tenants {
+			tn.Exec().Stop()
+		}
+	}()
 
 	for _, wl := range []*tenantWorkload{alpha, bravo, clean} {
 		for i := 1; i <= perTenant; i++ {

@@ -37,6 +37,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 	// The live run lasts seconds, so sample the PDU every 50 ms instead of
 	// the paper's 13 samples/minute (which would never refresh here).
 	model := d.RegisterPowerModel(50 * time.Millisecond)

@@ -91,6 +91,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 
 	start := time.Now()
 	for i := 0; i < items; i++ {

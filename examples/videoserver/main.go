@@ -41,15 +41,22 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		stop := d.StopOnInterrupt() // Ctrl-C: stop feeding, drain, exit
 		arr := workload.NewArrivals(workload.LoadFactor(lf).RateFor(maxTp), 42)
+	feed:
 		for i := 0; i < videos; i++ {
-			time.Sleep(arr.Next())
+			select {
+			case <-d.Done():
+				break feed
+			case <-time.After(arr.Next()):
+			}
 			s.Submit(1.0)
 		}
 		s.Close()
 		if err := d.Destroy(); err != nil {
 			panic(err)
 		}
+		stop()
 		p95, _ := s.Resp.Percentile(95)
 		fmt.Printf("load %.1f: mean response %6.1f ms (p95 %6.1f ms), exec %5.1f ms, wait %5.1f ms, %d reconfigurations, final %s\n",
 			lf, s.Resp.MeanResponse()*1000, p95*1000,
@@ -72,6 +79,7 @@ func calibrate() float64 {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		s.Submit(1.0)

@@ -91,6 +91,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.StopOnInterrupt()() // Ctrl-C: drain the nest, then exit cleanly
 
 	rng := rand.New(rand.NewSource(7))
 	start := time.Now()

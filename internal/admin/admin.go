@@ -14,6 +14,13 @@
 //	                 {"name": "static"} freezes the current configuration
 //	GET  /stats      executive counters (uptime, reconfigurations,
 //	                 suspensions, in-place resizes, stalls, shed items, ...)
+//	                 plus per-stage observation rows (queue sojourn, observed)
+//	GET  /series     ring-buffered time series from an attached
+//	                 metrics.Collector (per-stage rate/sojourn/extent,
+//	                 robustness counters, power, decision log); ?since=<cursor>
+//	                 fetches incrementally — pass the previous response's
+//	                 "cursor" to get only newer points; 404 when no collector
+//	                 is attached
 //	GET  /whatif     the causal what-if profile per nest: stages ranked by
 //	                 the predicted throughput payoff of one more context
 //	                 (or a 10% service-time cut), from live measurements
@@ -28,10 +35,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"dope/internal/core"
+	"dope/internal/metrics"
 	"dope/internal/monitor"
 	"dope/internal/replay"
 )
@@ -42,18 +51,52 @@ type MechanismFactory func() core.Mechanism
 
 // Handler builds the administration http.Handler for a running executive.
 // mechs maps names accepted by PUT /mechanism to factories; the name
-// "static" is always available and installs no mechanism.
+// "static" is always available and installs no mechanism. GET /series
+// answers 404 until a collector is attached via HandlerWithCollector.
 func Handler(e *core.Exec, mechs map[string]MechanismFactory) http.Handler {
+	return HandlerWithCollector(e, mechs, nil)
+}
+
+// HandlerWithCollector is Handler plus a live-ops collector backing the
+// GET /series endpoint. The collector is typically attached to the same
+// executive (metrics.Collector.Attach) but the handler serves whatever
+// snapshot the collector holds.
+func HandlerWithCollector(e *core.Exec, mechs map[string]MechanismFactory, col *metrics.Collector) http.Handler {
 	mux := http.NewServeMux()
-	h := &adminState{exec: e, mechs: mechs}
+	h := &adminState{exec: e, mechs: mechs, col: col}
 	mux.HandleFunc("/", h.index)
 	mux.HandleFunc("/report", h.report)
 	mux.HandleFunc("/config", h.config)
 	mux.HandleFunc("/mechanism", h.mechanism)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/series", h.series)
 	mux.HandleFunc("/whatif", h.whatif)
 	mux.HandleFunc("/healthz", h.healthz)
 	return mux
+}
+
+// serveSeries answers GET /series from a collector snapshot: the full held
+// window by default, or everything after ?since=<cursor> for incremental
+// consumers (dope-top's live mode polls this way).
+func serveSeries(w http.ResponseWriter, r *http.Request, col *metrics.Collector) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if col == nil {
+		http.Error(w, "no metrics collector attached", http.StatusNotFound)
+		return
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since cursor %q: %v", s, err), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	writeJSON(w, col.Snapshot(since))
 }
 
 // NewServer wraps the admin handler in an http.Server with read/write
@@ -73,6 +116,11 @@ func NewServer(addr string, handler http.Handler) *http.Server {
 type adminState struct {
 	exec  *core.Exec
 	mechs map[string]MechanismFactory
+	col   *metrics.Collector
+}
+
+func (h *adminState) series(w http.ResponseWriter, r *http.Request) {
+	serveSeries(w, r, h.col)
 }
 
 func (h *adminState) index(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +132,7 @@ func (h *adminState) index(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"GET /report", "GET /config", "PUT /config",
 			"GET /mechanism", "PUT /mechanism", "GET /stats",
-			"GET /whatif", "GET /healthz",
+			"GET /series", "GET /whatif", "GET /healthz",
 		},
 		"mechanisms": h.names(),
 	})
@@ -182,12 +230,19 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	rep := h.exec.Report()
 	var stalls, shed uint64
 	var zombies int
-	walkStages(h.exec.Report().Root, func(nest string, sr *core.StageReport) {
+	stages := []stageStats{}
+	walkStages(rep.Root, func(nest string, sr *core.StageReport) {
 		stalls += sr.Stalls
 		shed += sr.Shed
 		zombies += sr.Zombies
+		stages = append(stages, stageStats{
+			Nest: nest, Stage: sr.Name,
+			SojournSec: sr.QueueSojourn, Observed: sr.Observed,
+			Rate: sr.Rate, Extent: sr.Extent, Workers: sr.Workers,
+		})
 	})
 	writeJSON(w, map[string]any{
 		"uptimeSec":        h.exec.Uptime().Seconds(),
@@ -199,10 +254,25 @@ func (h *adminState) stats(w http.ResponseWriter, r *http.Request) {
 		"stageStalls":      stalls,
 		"shedItems":        shed,
 		"zombieSlots":      zombies,
+		"rejectedArrivals": rep.Rejected,
 		"contexts":         h.exec.Contexts().N(),
 		"busyContexts":     h.exec.Contexts().Busy(),
 		"peakContexts":     h.exec.Contexts().Peak(),
+		"stages":           stages,
 	})
+}
+
+// stageStats is one per-stage observation row in GET /stats: the sojourn
+// gauge and observation flag (added with the sojourn-aware mechanisms) that
+// the roll-up counters above cannot carry.
+type stageStats struct {
+	Nest       string  `json:"nest"`
+	Stage      string  `json:"stage"`
+	SojournSec float64 `json:"sojournSec"`
+	Observed   bool    `json:"observed"`
+	Rate       float64 `json:"rate"`
+	Extent     int     `json:"extent"`
+	Workers    int     `json:"workers"`
 }
 
 // whatif serves the live causal what-if profile: one WhatIfReport per nest

@@ -395,7 +395,7 @@ func TestIndexEndpoint(t *testing.T) {
 		Mechanisms []string `json:"mechanisms"`
 	}
 	getJSON(t, srv.URL+"/", &got)
-	if len(got.Endpoints) != 8 || len(got.Mechanisms) != 3 {
+	if len(got.Endpoints) != 9 || len(got.Mechanisms) != 3 {
 		t.Fatalf("index = %+v", got)
 	}
 	resp, err := http.Get(srv.URL + "/nope")

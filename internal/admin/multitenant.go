@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"dope/internal/metrics"
 	"dope/internal/tenancy"
 )
 
@@ -23,18 +24,33 @@ import (
 //	                             config, mechanism, stats, whatif, healthz)
 //	                             of the named tenant's executive
 //	GET /stats                   machine counters: shared pool occupancy,
-//	                             admission rejections, per-tenant roll-up
+//	                             admission rejections, arbitration churn
+//	                             (grants/revokes), per-tenant roll-up
+//	GET /series                  ring-buffered time series from an attached
+//	                             collector (per-tenant quota/used/pressure,
+//	                             arbitration decision log); ?since=<cursor>
+//	                             for incremental fetch; 404 when no
+//	                             collector is attached
 //	GET /healthz                 machine probe: one tenant's failure does
 //	                             not fail the machine — 503 only when every
 //	                             registered tenant is unhealthy; per-tenant
 //	                             health is always in the detail body
 func MultiHandler(arb *tenancy.Arbiter, mechs map[string]MechanismFactory) http.Handler {
+	return MultiHandlerWithCollector(arb, mechs, nil)
+}
+
+// MultiHandlerWithCollector is MultiHandler plus a live-ops collector
+// backing GET /series — typically the one fed by Arbiter.AttachCollector.
+// The per-tenant delegated surface shares the same collector, so
+// /tenants/<name>/series answers too.
+func MultiHandlerWithCollector(arb *tenancy.Arbiter, mechs map[string]MechanismFactory, col *metrics.Collector) http.Handler {
 	mux := http.NewServeMux()
-	h := &multiState{arb: arb, mechs: mechs}
+	h := &multiState{arb: arb, mechs: mechs, col: col}
 	mux.HandleFunc("/", h.index)
 	mux.HandleFunc("/tenants", h.tenants)
 	mux.HandleFunc("/tenants/", h.tenant)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/series", h.series)
 	mux.HandleFunc("/healthz", h.healthz)
 	return mux
 }
@@ -42,6 +58,11 @@ func MultiHandler(arb *tenancy.Arbiter, mechs map[string]MechanismFactory) http.
 type multiState struct {
 	arb   *tenancy.Arbiter
 	mechs map[string]MechanismFactory
+	col   *metrics.Collector
+}
+
+func (h *multiState) series(w http.ResponseWriter, r *http.Request) {
+	serveSeries(w, r, h.col)
 }
 
 func (h *multiState) index(w http.ResponseWriter, r *http.Request) {
@@ -90,7 +111,7 @@ func (h *multiState) tenant(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("no tenant named %q", name), http.StatusNotFound)
 		return
 	}
-	inner := Handler(t.Exec(), h.mechs)
+	inner := HandlerWithCollector(t.Exec(), h.mechs, h.col)
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = "/" + sub
 	inner.ServeHTTP(w, r2)
@@ -103,11 +124,13 @@ func (h *multiState) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	pool := h.arb.Pool()
 	perTenant := map[string]tenancy.TenantStatus{}
-	var shed, rejected uint64
+	var shed, rejected, grants, revokes uint64
 	for _, st := range h.arb.Tenants() {
 		perTenant[st.Name] = st
 		shed += st.Shed
 		rejected += st.Rejected
+		grants += st.Grants
+		revokes += st.Revokes
 	}
 	writeJSON(w, map[string]any{
 		"contexts":         pool.N(),
@@ -118,6 +141,8 @@ func (h *multiState) stats(w http.ResponseWriter, r *http.Request) {
 		"rejectedTenants":  h.arb.RejectedTenants(),
 		"shedItems":        shed,
 		"rejectedArrivals": rejected,
+		"grants":           grants,
+		"revokes":          revokes,
 		"tenants":          perTenant,
 	})
 }

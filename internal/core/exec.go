@@ -50,6 +50,21 @@ type Exec struct {
 	tbuf    *traceBuf
 	loopsWG sync.WaitGroup
 
+	// Trace taps (TapTrace): extra event consumers alongside the WithTrace
+	// callback — the live-ops collector subscribes here without displacing
+	// the application's own trace. The slice is copy-on-write under tapMu;
+	// hasTap is the emit fast path's "any consumer at all?" check.
+	tapMu  sync.Mutex
+	taps   atomic.Pointer[[]traceTap]
+	hasTap atomic.Bool
+	tapSeq uint64
+
+	// rejectedFn, when set (WithRejectedGauge), samples the admission
+	// refusals charged to this executive — the tenancy layer's Admit
+	// refusals — into Report.Rejected so recorders and mechanisms see the
+	// shed work that never reached a stage queue.
+	rejectedFn func() uint64
+
 	mechMu sync.RWMutex
 	mech   Mechanism
 
@@ -246,6 +261,15 @@ func WithProtocolCheck() Option {
 // and must not call back into the Exec.
 func WithTrace(fn func(Event)) Option {
 	return func(e *Exec) { e.trace = fn }
+}
+
+// WithRejectedGauge registers a sampler for the admission refusals charged
+// to this executive. A multi-tenant arbiter wires the tenant's Admit-refusal
+// counter here so Report.Rejected (and therefore recorded replay logs and
+// the live-ops series) carries the arrivals that were turned away before any
+// stage queue saw them.
+func WithRejectedGauge(fn func() uint64) Option {
+	return func(e *Exec) { e.rejectedFn = fn }
 }
 
 // WithInitialConfig sets the starting configuration (normalized against the
@@ -519,8 +543,8 @@ func (e *Exec) serve() {
 		// but a late user-goroutine install remains, and the final flush
 		// delivers everything buffered before Wait can return.
 		e.loopsWG.Wait()
-		if e.trace != nil {
-			e.tbuf.flushFinal(e.trace)
+		if e.hasTraceConsumer() {
+			e.tbuf.flushFinal(e.deliver)
 		}
 		close(e.doneCh)
 	}()
@@ -793,18 +817,85 @@ func (e *Exec) runNest(r *run, spec *NestSpec, path []string, item any, top bool
 }
 
 func (e *Exec) emit(ev Event) {
-	if e.trace == nil {
+	if e.trace == nil && !e.hasTap.Load() {
 		return
 	}
 	ev.Time = e.Uptime()
 	e.tbuf.enqueue(ev)
 }
 
-// flushTrace delivers buffered events to the trace callback in emission
-// order. Called from the control and watchdog ticks and at drain
-// boundaries; a no-op when no callback is installed.
-func (e *Exec) flushTrace() {
+// traceTap is one TapTrace registration; the id makes release exact even
+// when the same func value is tapped twice.
+type traceTap struct {
+	id uint64
+	fn func(Event)
+}
+
+// TapTrace registers an additional trace consumer alongside any WithTrace
+// callback: every buffered event is delivered to the callback and to every
+// live tap, in the same emission order. Taps must be fast and must not call
+// back into the Exec (the same contract as WithTrace). The returned release
+// removes the tap; events flushed after release are no longer delivered to
+// it. Safe to call on a running executive.
+func (e *Exec) TapTrace(fn func(Event)) (release func()) {
+	if fn == nil {
+		return func() {}
+	}
+	e.tapMu.Lock()
+	e.tapSeq++
+	id := e.tapSeq
+	var cur []traceTap
+	if p := e.taps.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]traceTap, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = traceTap{id: id, fn: fn}
+	e.taps.Store(&next)
+	e.hasTap.Store(true)
+	e.tapMu.Unlock()
+	return func() {
+		e.tapMu.Lock()
+		defer e.tapMu.Unlock()
+		p := e.taps.Load()
+		if p == nil {
+			return
+		}
+		next := make([]traceTap, 0, len(*p))
+		for _, t := range *p {
+			if t.id != id {
+				next = append(next, t)
+			}
+		}
+		e.taps.Store(&next)
+		e.hasTap.Store(len(next) > 0)
+	}
+}
+
+// deliver fans one flushed event out to the WithTrace callback and every
+// live tap, preserving emission order for each consumer (the flusher calls
+// deliver sequentially).
+func (e *Exec) deliver(ev Event) {
 	if e.trace != nil {
-		e.tbuf.flush(e.trace)
+		e.trace(ev)
+	}
+	if p := e.taps.Load(); p != nil {
+		for _, t := range *p {
+			t.fn(ev)
+		}
+	}
+}
+
+// hasTraceConsumer reports whether anything would receive a flushed event.
+func (e *Exec) hasTraceConsumer() bool {
+	return e.trace != nil || e.hasTap.Load()
+}
+
+// flushTrace delivers buffered events to the trace callback and taps in
+// emission order. Called from the control and watchdog ticks and at drain
+// boundaries; a no-op when no consumer is installed.
+func (e *Exec) flushTrace() {
+	if e.hasTraceConsumer() {
+		e.tbuf.flush(e.deliver)
 	}
 }

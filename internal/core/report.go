@@ -121,6 +121,10 @@ type Report struct {
 	BlockedAcquires int
 	// Features exposes registered platform features (power, etc.).
 	Features *platform.Features
+	// Rejected counts arrivals refused at admission before reaching any
+	// stage queue — sampled from the gauge installed by WithRejectedGauge
+	// (the tenancy layer's Admit refusals); zero when no gauge is set.
+	Rejected uint64
 	// Config is a mutable copy of the active configuration; mechanisms may
 	// edit and return it from Reconfigure.
 	Config *Config
@@ -166,6 +170,9 @@ func (e *Exec) Report() *Report {
 		BlockedAcquires: e.contexts.Blocked(),
 		Features:        e.features,
 		Config:          cfg.Clone(),
+	}
+	if e.rejectedFn != nil {
+		rep.Rejected = e.rejectedFn()
 	}
 	rep.Root = e.nestReport(e.root, cfg, []string{e.root.Name})
 	return rep

@@ -224,7 +224,7 @@ func (e *Exec) patrol() {
 // under their lock), so the watchdog polls the monitor's cumulative totals
 // and emits deltas.
 func (e *Exec) emitShedEvents() {
-	if e.trace == nil {
+	if !e.hasTraceConsumer() {
 		return
 	}
 	for _, key := range e.mon.Keys() {

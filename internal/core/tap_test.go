@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/queue"
+)
+
+// TestTapTraceDeliversAlongsideTrace pins the tap contract: every event the
+// WithTrace callback sees is also delivered to each live tap, in the same
+// order, and release stops further delivery without disturbing the callback.
+func TestTapTraceDeliversAlongsideTrace(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := twoAltDoallSpec(work, &processed)
+
+	var mu sync.Mutex
+	var traced, tapped []EventKind
+	e, err := New(spec, WithContexts(8),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{2}}),
+		WithTrace(func(ev Event) {
+			mu.Lock()
+			traced = append(traced, ev.Kind)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := e.TapTrace(func(ev Event) {
+		mu.Lock()
+		tapped = append(tapped, ev.Kind)
+		mu.Unlock()
+	})
+
+	for i := 0; i < 20; i++ {
+		work.Enqueue(i)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetConfig(&Config{Alt: 0, Extents: []int{4}})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(tapped)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	work.Close()
+	e.Stop()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(traced) == 0 || len(tapped) == 0 {
+		t.Fatalf("no events delivered: trace %d, tap %d", len(traced), len(tapped))
+	}
+	if len(traced) != len(tapped) {
+		t.Fatalf("trace saw %d events, tap saw %d; must be identical streams",
+			len(traced), len(tapped))
+	}
+	for i := range traced {
+		if traced[i] != tapped[i] {
+			t.Fatalf("event %d: trace %v vs tap %v", i, traced[i], tapped[i])
+		}
+	}
+	release()
+	release() // double-release is a no-op
+}
+
+// TestTapTraceReleaseStopsDelivery checks that a released tap receives
+// nothing from later flushes while a second tap keeps receiving.
+func TestTapTraceReleaseStopsDelivery(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := twoAltDoallSpec(work, &processed)
+
+	e, err := New(spec, WithContexts(8),
+		WithInitialConfig(&Config{Alt: 0, Extents: []int{2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var a, b int
+	releaseA := e.TapTrace(func(Event) { mu.Lock(); a++; mu.Unlock() })
+	e.TapTrace(func(Event) { mu.Lock(); b++; mu.Unlock() })
+
+	for i := 0; i < 10; i++ {
+		work.Enqueue(i)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.SetConfig(&Config{Alt: 0, Extents: []int{3}})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := a
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releaseA()
+	mu.Lock()
+	aAtRelease := a
+	mu.Unlock()
+
+	// Generate and flush more events after the release.
+	e.SetConfig(&Config{Alt: 0, Extents: []int{2}})
+	work.Close()
+	e.Stop()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if aAtRelease == 0 {
+		t.Fatal("tap A never saw an event before release")
+	}
+	if a != aAtRelease {
+		t.Errorf("released tap kept receiving: %d -> %d", aAtRelease, a)
+	}
+	if b <= aAtRelease {
+		t.Errorf("surviving tap b=%d did not outpace released tap a=%d", b, aAtRelease)
+	}
+}
+
+// TestWithRejectedGauge pins that the gauge installed at construction is
+// sampled into every Report.
+func TestWithRejectedGauge(t *testing.T) {
+	work := queue.New[int](0)
+	var processed atomic.Int64
+	spec := twoAltDoallSpec(work, &processed)
+	var rejected uint64 = 7
+	e, err := New(spec, WithContexts(4),
+		WithRejectedGauge(func() uint64 { return rejected }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Report().Rejected; got != 7 {
+		t.Fatalf("Report.Rejected = %d, want 7", got)
+	}
+	rejected = 12
+	if got := e.Report().Rejected; got != 12 {
+		t.Fatalf("Report.Rejected = %d, want 12 after gauge moved", got)
+	}
+	work.Close()
+}

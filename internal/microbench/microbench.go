@@ -16,14 +16,21 @@
 //     per-tenant quota pools layered over one shared context pool — the
 //     multi-tenant fast path (quota CAS + shared CAS per Begin). Also
 //     gated at 0 allocs/op.
+//   - BeginEndCollector: the uncontended path with a live-ops
+//     metrics.Collector attached (trace tap + report sampler). The
+//     collector runs entirely off the hot path, so this is gated at
+//     0 allocs/op too: its own sampling allocations amortize below one
+//     object per million iterations.
 package microbench
 
 import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dope/internal/core"
+	"dope/internal/metrics"
 	"dope/internal/platform"
 )
 
@@ -136,6 +143,31 @@ func runBeginEndMultiTenant(b *testing.B) {
 	}
 }
 
+// runBeginEndCollector is the acceptance check for the live-ops layer:
+// the same uncontended Begin/End loop, but with a metrics.Collector tapping
+// the trace stream and sampling Report every 10ms while the benchmark runs.
+// testing.Benchmark counts every allocation in the process, so the
+// collector's own sampling shows up here — and must still amortize to
+// 0 allocs/op over the measured iterations.
+func runBeginEndCollector(b *testing.B) {
+	b.ReportAllocs()
+	spec := beginEndSpec(b.N, 1)
+	e, err := core.New(spec,
+		core.WithContexts(1),
+		core.WithInitialConfig(&core.Config{Extents: []int{1}}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := metrics.NewCollector(256)
+	defer col.Close()
+	release := col.Attach(e, 10*time.Millisecond)
+	defer release()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BeginEnd runs the Begin/End suite and returns its results.
 func BeginEnd() []Result {
 	cases := []struct {
@@ -145,6 +177,7 @@ func BeginEnd() []Result {
 		{"BeginEnd", runBeginEnd(1)},
 		{"BeginEndContended8", runBeginEnd(8)},
 		{"BeginEndMultiTenant", runBeginEndMultiTenant},
+		{"BeginEndCollector", runBeginEndCollector},
 	}
 	out := make([]Result, 0, len(cases))
 	for _, c := range cases {
@@ -161,11 +194,17 @@ func BeginEnd() []Result {
 }
 
 // Gate enforces the benchmark acceptance floor: the uncontended Begin/End
-// path must be allocation-free, single- and multi-tenant alike. It returns
-// an error naming the first violation.
+// path must be allocation-free — single-tenant, multi-tenant, and with a
+// live-ops collector attached alike. It returns an error naming the first
+// violation.
 func Gate(results []Result) error {
 	for _, r := range results {
-		if (r.Name == "BeginEnd" || r.Name == "BeginEndMultiTenant") && r.AllocsPerOp > 0 {
+		switch r.Name {
+		case "BeginEnd", "BeginEndMultiTenant", "BeginEndCollector":
+		default:
+			continue
+		}
+		if r.AllocsPerOp > 0 {
 			return fmt.Errorf("microbench: %s allocates %d objects/op, want 0 (Begin/End fast path must be allocation-free)",
 				r.Name, r.AllocsPerOp)
 		}

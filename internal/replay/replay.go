@@ -14,6 +14,7 @@ package replay
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -63,6 +64,18 @@ type StageObs struct {
 	Workers       int     `json:"workers,omitempty"`
 	Sojourn       float64 `json:"sojourn,omitempty"`
 	Observed      bool    `json:"observed,omitempty"`
+	// Robustness counters. A post-mortem replay is only trustworthy if the
+	// failure story survives the round trip: slot churn, absorbed panics,
+	// watchdog stalls, zombie slots, and shed queue items all record here.
+	Spawned           uint64 `json:"spawned,omitempty"`
+	Retired           uint64 `json:"retired,omitempty"`
+	Resizes           uint64 `json:"resizes,omitempty"`
+	Failures          uint64 `json:"failures,omitempty"`
+	ConsecFailures    int    `json:"consecFailures,omitempty"`
+	Stalls            uint64 `json:"stalls,omitempty"`
+	StallsDuringDrain uint64 `json:"stallsDuringDrain,omitempty"`
+	Zombies           int    `json:"zombies,omitempty"`
+	Shed              uint64 `json:"shed,omitempty"`
 }
 
 // NestObs is one nest's observation subtree.
@@ -86,10 +99,16 @@ type ConfigRecord struct {
 type Entry struct {
 	// TimeSec is the executive uptime at the snapshot, in seconds.
 	TimeSec float64 `json:"t"`
+	// Tenant is the executive's identity in a multi-tenant process; "" when
+	// single-tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Contexts/BusyContexts/BlockedAcquires mirror core.Report.
 	Contexts        int `json:"contexts"`
 	BusyContexts    int `json:"busy"`
 	BlockedAcquires int `json:"blocked"`
+	// Rejected mirrors core.Report.Rejected: admissions refused before any
+	// stage queue saw the work.
+	Rejected uint64 `json:"rejected,omitempty"`
 	// Features holds the sampled platform features by name.
 	Features map[string]float64 `json:"features,omitempty"`
 	// Spec is the structural spec tree (recorded once per entry for
@@ -152,6 +171,10 @@ func encodeNest(n *core.NestReport) *NestObs {
 			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
 			Iterations: st.Iterations, Completed: st.Completed,
 			Workers: st.Workers, Sojourn: st.QueueSojourn, Observed: st.Observed,
+			Spawned: st.Spawned, Retired: st.Retired, Resizes: st.Resizes,
+			Failures: st.Failures, ConsecFailures: st.ConsecutiveFailures,
+			Stalls: st.Stalls, StallsDuringDrain: st.StallsDuringDrain,
+			Zombies: st.Zombies, Shed: st.Shed,
 		})
 	}
 	for k, v := range n.Children {
@@ -168,9 +191,11 @@ func encodeNest(n *core.NestReport) *NestObs {
 func Encode(r *core.Report) *Entry {
 	e := &Entry{
 		TimeSec:         r.Time.Seconds(),
+		Tenant:          r.Tenant,
 		Contexts:        r.Contexts,
 		BusyContexts:    r.BusyContexts,
 		BlockedAcquires: r.BlockedAcquires,
+		Rejected:        r.Rejected,
 		Spec:            encodeSpec(rootSpec(r)),
 		Config:          encodeConfig(r.Config),
 		Root:            encodeNest(r.Root),
@@ -253,6 +278,10 @@ func decodeNest(n *NestObs, spec *core.NestSpec) *core.NestReport {
 			Rate: st.Rate, Load: st.Load, LoadInstances: st.LoadInstances,
 			Iterations: st.Iterations, Completed: st.Completed,
 			Workers: st.Workers, QueueSojourn: st.Sojourn, Observed: st.Observed,
+			Spawned: st.Spawned, Retired: st.Retired, Resizes: st.Resizes,
+			Failures: st.Failures, ConsecutiveFailures: st.ConsecFailures,
+			Stalls: st.Stalls, StallsDuringDrain: st.StallsDuringDrain,
+			Zombies: st.Zombies, Shed: st.Shed,
 		})
 	}
 	for k, v := range n.Children {
@@ -291,9 +320,11 @@ func Decode(e *Entry) *core.Report {
 	}
 	return &core.Report{
 		Time:            time.Duration(e.TimeSec * float64(time.Second)),
+		Tenant:          e.Tenant,
 		Contexts:        e.Contexts,
 		BusyContexts:    e.BusyContexts,
 		BlockedAcquires: e.BlockedAcquires,
+		Rejected:        e.Rejected,
 		Features:        features,
 		Config:          decodeConfig(e.Config),
 		Root:            decodeNest(e.Root, spec),
@@ -333,26 +364,37 @@ func (r *Recorder) Count() int {
 }
 
 // ReadLog parses a JSONL log into entries.
+//
+// A recorder killed mid-write (SIGKILL, OOM, power loss) leaves one
+// truncated, newline-less line at the tail of the file; ReadLog drops that
+// tail and returns the entries before it, so an interrupted recording
+// still replays. A malformed line that IS newline-terminated — anywhere,
+// including last — is real corruption and stays an error.
 func ReadLog(rd io.Reader) ([]*Entry, error) {
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	br := bufio.NewReaderSize(rd, 1<<16)
 	var out []*Entry
 	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("replay: %w", err)
 		}
-		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("replay: line %d: %w", line, err)
+		terminated := err == nil
+		if b := bytes.TrimSuffix(raw, []byte("\n")); len(bytes.TrimSpace(b)) > 0 {
+			line++
+			var e Entry
+			if uerr := json.Unmarshal(b, &e); uerr != nil {
+				if !terminated {
+					return out, nil // truncated tail of an interrupted recording
+				}
+				return nil, fmt.Errorf("replay: line %d: %w", line, uerr)
+			}
+			out = append(out, &e)
 		}
-		out = append(out, &e)
+		if err == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
-	}
-	return out, nil
 }
 
 // Decision is one mechanism output during a replay.

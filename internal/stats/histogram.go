@@ -68,6 +68,29 @@ func (h *Histogram) Underflow() uint64 { return h.underflow }
 // Overflow returns the count of observations at or above the range.
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
+// Decay scales every bucket count (including underflow/overflow) by factor,
+// rounding down, so old observations gradually lose weight: a collector that
+// decays its sojourn histogram each tick keeps quantiles tracking the recent
+// regime instead of the whole run. Factor is clamped to [0, 1); counts of 1
+// decay to 0, so a stream that stops contributing eventually empties the
+// histogram entirely.
+func (h *Histogram) Decay(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor >= 1 {
+		return
+	}
+	var total uint64
+	for i, c := range h.buckets {
+		h.buckets[i] = uint64(float64(c) * factor)
+		total += h.buckets[i]
+	}
+	h.underflow = uint64(float64(h.underflow) * factor)
+	h.overflow = uint64(float64(h.overflow) * factor)
+	h.total = total + h.underflow + h.overflow
+}
+
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1) assuming
 // observations are uniform within each bucket. Out-of-range counts are
 // attributed to the range edges. Returns NaN when empty.

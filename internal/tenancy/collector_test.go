@@ -1,0 +1,124 @@
+package tenancy
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dope/internal/core"
+	"dope/internal/metrics"
+	"dope/internal/platform"
+	"dope/internal/queue"
+)
+
+// TestGrantRevokeCountersAndCollector drives two tenants through quota churn
+// under a manual tick and checks that (a) grants/revokes are counted into
+// TenantStatus, and (b) an attached collector receives per-tenant series and
+// arbitration decisions.
+func TestGrantRevokeCountersAndCollector(t *testing.T) {
+	pool := platform.NewContexts(8)
+	a := New(pool, WithManualTick())
+	defer a.Close()
+
+	col := metrics.NewCollector(128)
+	defer col.Close()
+	release := a.AttachCollector(col, time.Millisecond)
+	defer release()
+
+	var done1, done2 atomic.Int64
+	q1, q2 := queue.New[int](0), queue.New[int](0)
+	fill(q1, 400)
+	fill(q2, 400)
+
+	if _, err := a.Register(TenantSpec{Name: "alpha", Root: workSpec("alpha", q1, &done1, 50*time.Microsecond), Options: []core.Option{extent8()}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A second tenant arriving forces the arbiter to cut alpha's grant.
+	if _, err := a.Register(TenantSpec{Name: "beta", Root: workSpec("beta", q2, &done2, 50*time.Microsecond), Options: []core.Option{extent8()}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var alpha TenantStatus
+	var found bool
+	for _, st := range a.Tenants() {
+		if st.Name == "alpha" {
+			alpha, found = st, true
+		}
+	}
+	if !found {
+		t.Fatal("alpha missing from status sweep")
+	}
+	if alpha.Grants == 0 {
+		t.Error("alpha.Grants = 0; the initial grant was not counted")
+	}
+	if alpha.Revokes == 0 {
+		t.Error("alpha.Revokes = 0; beta's arrival should have cut alpha's quota")
+	}
+
+	// The collector saw the same story: quota series + decision entries.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := col.Snapshot(0)
+		if len(snap.Series["tenant/alpha/quota"]) > 0 && len(snap.Events) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := col.Snapshot(0)
+	if len(snap.Series["tenant/alpha/quota"]) == 0 {
+		t.Error("collector has no tenant/alpha/quota series")
+	}
+	var sawGrant, sawRevoke bool
+	for _, d := range snap.Events {
+		switch d.Kind {
+		case "grant":
+			sawGrant = true
+		case "revoke":
+			sawRevoke = true
+		}
+	}
+	if !sawGrant || !sawRevoke {
+		t.Errorf("decision log missing grant/revoke: grant=%v revoke=%v (%d entries)",
+			sawGrant, sawRevoke, len(snap.Events))
+	}
+	if len(snap.Tenants) != 2 {
+		t.Errorf("collector tenant table has %d rows, want 2", len(snap.Tenants))
+	}
+	q1.Close()
+	q2.Close()
+}
+
+// TestTenantRejectedGaugeInReport pins the WithRejectedGauge wiring: Admit
+// refusals show up in the tenant executive's own Report.
+func TestTenantRejectedGaugeInReport(t *testing.T) {
+	pool := platform.NewContexts(4)
+	a := New(pool, WithManualTick())
+	defer a.Close()
+
+	var done atomic.Int64
+	q := queue.New[int](0)
+	tn, err := a.Register(TenantSpec{Name: "solo", Root: workSpec("solo", q, &done, time.Microsecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force refusals: no quota yet granted beyond the arbiter's initial
+	// assignment — cut it to zero so Admit refuses.
+	tn.pool.SetQuota(0)
+	for i := 0; i < 3; i++ {
+		if tn.Admit() {
+			t.Fatal("Admit succeeded with zero quota")
+		}
+	}
+	if got := tn.Exec().Report().Rejected; got != 3 {
+		t.Fatalf("Report.Rejected = %d, want 3", got)
+	}
+	q.Close()
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dope/internal/core"
+	"dope/internal/metrics"
 	"dope/internal/platform"
 )
 
@@ -126,6 +127,8 @@ type Tenant struct {
 
 	state    atomic.Int32
 	rejected atomic.Uint64 // Admit refusals
+	grants   atomic.Uint64 // arbiter quota raises applied to this tenant
+	revokes  atomic.Uint64 // arbiter quota cuts (including eviction's cut to 0)
 
 	mu        sync.Mutex
 	quota     int
@@ -160,6 +163,11 @@ func (t *Tenant) Quota() int { return t.pool.Quota() }
 
 // Rejected returns how many arrivals Admit has refused.
 func (t *Tenant) Rejected() uint64 { return t.rejected.Load() }
+
+// Grants and Revokes count arbiter quota raises and cuts applied to this
+// tenant — the churn signal behind the admin per-tenant arbitration rows.
+func (t *Tenant) Grants() uint64  { return t.grants.Load() }
+func (t *Tenant) Revokes() uint64 { return t.revokes.Load() }
 
 // admitBacklogFactor bounds the arrival backlog Admit tolerates: once more
 // than admitBacklogFactor×quota workers are parked on the tenant's quota,
@@ -198,6 +206,8 @@ type TenantStatus struct {
 	Watts     float64 `json:"watts"`
 	Shed      uint64  `json:"shed"`
 	Rejected  uint64  `json:"rejected"`
+	Grants    uint64  `json:"grants"`
+	Revokes   uint64  `json:"revokes"`
 	Err       string  `json:"err,omitempty"`
 }
 
@@ -215,6 +225,11 @@ type Arbiter struct {
 	tenants  map[string]*Tenant
 	closed   bool
 	rejected atomic.Uint64 // registrations refused by admission control
+
+	// start anchors the time axis the collector samples against;
+	// collector, when attached, receives grant/revoke/evict decisions.
+	start     time.Time
+	collector atomic.Pointer[metrics.Collector]
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -292,6 +307,7 @@ func New(pool *platform.Contexts, opts ...Option) *Arbiter {
 		evictAfter:   500 * time.Millisecond,
 		tenants:      make(map[string]*Tenant),
 		stopCh:       make(chan struct{}),
+		start:        time.Now(),
 	}
 	for _, o := range opts {
 		o(a)
@@ -355,10 +371,14 @@ func (a *Arbiter) Register(spec TenantSpec) (*Tenant, error) {
 		return nil, ErrSaturated
 	}
 	tp := platform.NewTenantPool(a.pool, 0)
+	t := &Tenant{arb: a, spec: spec, pool: tp}
 	opts := []core.Option{
 		core.WithContextPool(tp),
 		core.WithName(spec.Name),
 		core.WithDrainTimeout(a.drainTimeout),
+		// The tenant's admission refusals surface in its own reports, so
+		// recorded traces and the live-ops series carry the shed arrivals.
+		core.WithRejectedGauge(t.rejected.Load),
 	}
 	if spec.Mechanism != nil {
 		opts = append(opts, core.WithMechanism(spec.Mechanism))
@@ -369,7 +389,7 @@ func (a *Arbiter) Register(spec TenantSpec) (*Tenant, error) {
 		a.mu.Unlock()
 		return nil, err
 	}
-	t := &Tenant{arb: a, spec: spec, pool: tp, exec: e}
+	t.exec = e
 	t.state.Store(int32(Running))
 	a.tenants[spec.Name] = t
 	a.rebalanceLocked()
@@ -481,6 +501,8 @@ func (t *Tenant) status() TenantStatus {
 		Watts:     watts,
 		Shed:      sumShed(t.exec.Report().Root),
 		Rejected:  t.rejected.Load(),
+		Grants:    t.grants.Load(),
+		Revokes:   t.revokes.Load(),
 	}
 	if err != nil {
 		st.Err = err.Error()
@@ -604,7 +626,10 @@ func (a *Arbiter) enforceLocked(now time.Time) {
 		case now.Sub(t.overSince) >= a.evictAfter:
 			t.mu.Unlock()
 			if t.state.CompareAndSwap(int32(Running), int32(Evicted)) {
+				from := t.pool.Quota()
 				t.pool.SetQuota(0)
+				t.revokes.Add(1)
+				a.recordDecision("evict", t.spec.Name, from, 0)
 				t.exec.Stop()
 			}
 		case now.Sub(t.overSince) >= a.revokeGrace:
@@ -798,8 +823,86 @@ func (a *Arbiter) rebalanceLocked() {
 }
 
 func (a *Arbiter) applyGrant(t *Tenant, q int) {
+	old := t.pool.Quota()
 	t.pool.SetQuota(q)
 	t.mu.Lock()
 	t.quota = q
 	t.mu.Unlock()
+	switch {
+	case q > old:
+		t.grants.Add(1)
+		a.recordDecision("grant", t.spec.Name, old, q)
+	case q < old:
+		t.revokes.Add(1)
+		a.recordDecision("revoke", t.spec.Name, old, q)
+	}
+}
+
+// recordDecision forwards one arbitration action to the attached collector's
+// decision log; a no-op when no collector is attached.
+func (a *Arbiter) recordDecision(kind, tenant string, from, to int) {
+	if c := a.collector.Load(); c != nil {
+		c.RecordDecision(metrics.DecisionEntry{
+			T: time.Since(a.start).Seconds(), Kind: kind,
+			Nest: tenant, From: from, To: to,
+		})
+	}
+}
+
+// AttachCollector streams the arbiter's state into a live-ops collector:
+// every interval the per-tenant status sweep lands via ObserveTenants
+// (quota/used/watts/shed/rejected series plus the latest arbitration table),
+// and every grant, revocation, and eviction is appended to the collector's
+// decision log as it happens. The returned release stops the sampling and
+// detaches the decision feed; Close releases it implicitly.
+func (a *Arbiter) AttachCollector(c *metrics.Collector, interval time.Duration) (release func()) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return func() {}
+	}
+	a.collector.Store(c)
+	a.wg.Add(1)
+	a.mu.Unlock()
+	stop := make(chan struct{})
+	var once sync.Once
+	sample := func() {
+		statuses := a.Tenants()
+		samples := make([]metrics.TenantSample, len(statuses))
+		for i, st := range statuses {
+			samples[i] = metrics.TenantSample{
+				Name: st.Name, State: st.State,
+				Priority: st.Priority, Weight: st.Weight,
+				Quota: st.Quota, Used: st.Used, Watts: st.Watts,
+				Shed: st.Shed, Rejected: st.Rejected,
+				Grants: st.Grants, Revokes: st.Revokes,
+			}
+		}
+		c.ObserveTenants(time.Since(a.start).Seconds(), samples)
+	}
+	go func() {
+		defer a.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sample()
+			case <-stop:
+				return
+			case <-a.stopCh:
+				sample()
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			a.collector.Store(nil)
+			close(stop)
+		})
+	}
 }
